@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark reproduces one figure of the paper's evaluation at
+``DEFAULT_SCALE`` and prints the same rows/series the figure plots.
+Experiments are deterministic, so a single round measures them exactly;
+``run_once`` wraps ``benchmark.pedantic`` accordingly.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,122 @@
+"""Ablation — adaptive log commitment vs fixed epochs (§VI-B2).
+
+Fig. 9 sweeps fixed commitment epochs; the paper's controller is
+supposed to *pick* a good point per regime.  This ablation feeds the
+same long stream to MorphStreamR three ways per contention regime —
+pinned to the smallest epoch, pinned to the largest, and with the
+adaptive controller attached (starting small) — and checks that the
+controller converges near the better fixed choice.
+"""
+
+from __future__ import annotations
+
+from repro.core.commitment import AdaptiveCommitController
+from repro.core.morphstreamr import MorphStreamR
+from repro.harness.figures import FIG9_REGIMES, gs_factory
+from repro.harness.report import format_throughput, print_figure, render_table
+from repro.harness.runner import ground_truth
+
+SMALL, LARGE = 64, 1024
+NUM_EVENTS = LARGE * 9
+WORKERS = 8
+SNAPSHOT_INTERVAL = 5
+
+
+def _cycle(factory, epoch_len, controller=None):
+    """One verified runtime→crash→recovery cycle; returns throughputs."""
+    workload = factory()
+    kwargs = {"controller": controller} if controller is not None else {}
+    scheme = MorphStreamR(
+        workload,
+        num_workers=WORKERS,
+        epoch_len=epoch_len,
+        snapshot_interval=SNAPSHOT_INTERVAL,
+        **kwargs,
+    )
+    events = workload.generate(NUM_EVENTS, seed=7)
+    runtime = scheme.process_stream(events)
+    scheme.crash()
+    recovery = scheme.recover()
+    expected, _outputs = ground_truth(
+        workload, events[: runtime.events_processed]
+    )
+    assert scheme.store.equals(expected)
+    return runtime.throughput_eps, recovery.throughput_eps
+
+
+def test_ablation_adaptive_commitment(run_once):
+    def sweep():
+        results = {}
+        for regime, params in FIG9_REGIMES.items():
+            factory = gs_factory(**params)
+            results[regime] = {
+                "fixed-small": _cycle(factory, SMALL),
+                "fixed-large": _cycle(factory, LARGE),
+                "adaptive": _cycle(
+                    factory,
+                    SMALL,  # starts small; the controller resizes
+                    controller=AdaptiveCommitController(
+                        SMALL, LARGE, recovery_weight=0.5
+                    ),
+                ),
+            }
+        # The objective knob: a runtime-first controller on the
+        # high-contention regime must track the small-epoch runtime.
+        results["HSMD"]["adaptive-runtime-first"] = _cycle(
+            gs_factory(**FIG9_REGIMES["HSMD"]),
+            SMALL,
+            controller=AdaptiveCommitController(
+                SMALL, LARGE, recovery_weight=0.0
+            ),
+        )
+        return results
+
+    results = run_once(sweep)
+    rows = []
+    for regime, modes in results.items():
+        for mode, (runtime_eps, recovery_eps) in modes.items():
+            rows.append(
+                [
+                    regime,
+                    mode,
+                    format_throughput(runtime_eps),
+                    format_throughput(recovery_eps),
+                ]
+            )
+    print_figure(
+        "Ablation — adaptive vs fixed commitment epochs (GS regimes)",
+        render_table(["regime", "mode", "runtime", "recovery"], rows),
+    )
+
+    for regime in FIG9_REGIMES:
+        modes = results[regime]
+        run_small, _rec_small = modes["fixed-small"]
+        run_large, _rec_large = modes["fixed-large"]
+        run_adaptive, _rec_adaptive = modes["adaptive"]
+        # The balanced controller never collapses below the worse fixed
+        # choice on runtime (it may deliberately sit below the *better*
+        # one in high-skew regimes: that is the recovery trade).
+        assert run_adaptive >= 0.9 * min(run_small, run_large), regime
+    # LSFD: large epochs dominate both axes and the controller goes
+    # maximal, so both throughputs approach the fixed-large run.
+    lsfd = results["LSFD"]
+    assert lsfd["adaptive"][0] >= 0.9 * lsfd["fixed-large"][0]
+    assert lsfd["adaptive"][1] >= 0.8 * lsfd["fixed-large"][1]
+    # HSFD: recovery wants large epochs; the balanced (weight 0.5)
+    # controller interpolates, so it must land well above the
+    # small-epoch recovery without being required to reach fixed-large.
+    hsfd = results["HSFD"]
+    assert hsfd["adaptive"][1] >= 1.2 * hsfd["fixed-small"][1]
+    assert hsfd["adaptive"][1] <= 1.05 * hsfd["fixed-large"][1]
+    # LSMD: the controller's midpoint beats fixed-large on runtime and
+    # fixed-small on recovery — the stated §VI-B compromise.
+    lsmd = results["LSMD"]
+    assert lsmd["adaptive"][0] >= 0.95 * lsmd["fixed-small"][0]
+    assert lsmd["adaptive"][1] >= lsmd["fixed-small"][1]
+    # HSMD sanity: both adaptive modes stay within the fixed envelope
+    # (per-epoch profiling is noisy at 64-event epochs, so only the
+    # envelope — not a specific interior point — is asserted).
+    hsmd = results["HSMD"]
+    for mode in ("adaptive", "adaptive-runtime-first"):
+        assert hsmd[mode][0] >= 0.9 * hsmd["fixed-large"][0], mode
+        assert hsmd[mode][1] >= 0.9 * hsmd["fixed-small"][1], mode

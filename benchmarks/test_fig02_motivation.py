@@ -1,0 +1,47 @@
+"""Fig. 2 — comparisons of applicable fault tolerance approaches.
+
+Streaming Ledger: runtime throughput (higher is better) against
+recovery time (lower is better) for NAT/CKPT/WAL/DL/LV/MSR.  The paper
+reports CKPT ~10 s, WAL ~37 s and MSR fastest; the shape to hold here
+is the ordering — MSR recovers fastest while staying near CKPT's
+runtime, WAL recovers slowest, and DL/LV recover slower than CKPT.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import DEFAULT_SCALE, fig2_motivation
+from repro.harness.report import (
+    format_seconds,
+    format_throughput,
+    print_figure,
+    render_table,
+)
+
+
+def test_fig02_motivation(run_once):
+    results = run_once(fig2_motivation, DEFAULT_SCALE)
+
+    rows = [
+        [
+            name,
+            format_throughput(row["runtime_eps"]),
+            format_seconds(row["recovery_seconds"])
+            if row["recovery_seconds"]
+            else "n/a",
+        ]
+        for name, row in results.items()
+    ]
+    print_figure(
+        "Fig. 2 — runtime throughput vs recovery time (SL)",
+        render_table(["scheme", "runtime", "recovery time"], rows),
+    )
+
+    recovery = {
+        name: row["recovery_seconds"]
+        for name, row in results.items()
+        if name != "NAT"
+    }
+    assert min(recovery, key=recovery.get) == "MSR"
+    assert max(recovery, key=recovery.get) == "WAL"
+    assert recovery["DL"] > recovery["CKPT"]
+    assert results["MSR"]["runtime_eps"] > results["WAL"]["runtime_eps"]

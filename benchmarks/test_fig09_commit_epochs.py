@@ -1,0 +1,50 @@
+"""Fig. 9 — runtime vs recovery throughput under commitment epochs.
+
+MorphStreamR on the four Grep&Sum contention regimes of §VI-B (LSFD,
+LSMD, HSFD, HSMD) across log-commitment epoch lengths.  Shapes to hold:
+LSFD improves in both phases with larger epochs; LSMD's recovery peaks
+at a moderate epoch; the high-skew regimes show *inverse* trends —
+runtime prefers small epochs, recovery prefers large ones.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import DEFAULT_SCALE, fig9_commit_epochs
+from repro.harness.report import format_throughput, print_figure, render_table
+
+EPOCHS = (64, 128, 256, 512, 1024)
+
+
+def test_fig09_commit_epochs(run_once):
+    curves = run_once(fig9_commit_epochs, DEFAULT_SCALE, EPOCHS)
+
+    rows = []
+    for regime, points in curves.items():
+        for epoch_len, runtime_eps, recovery_eps in points:
+            rows.append(
+                [
+                    regime,
+                    epoch_len,
+                    format_throughput(runtime_eps),
+                    format_throughput(recovery_eps),
+                ]
+            )
+    print_figure(
+        "Fig. 9 — MSR throughput vs log commitment epoch (GS regimes)",
+        render_table(["regime", "epoch", "runtime", "recovery"], rows),
+    )
+
+    def series(regime, index):
+        return [p[index] for p in curves[regime]]
+
+    # LSFD: biggest epoch is best (or tied) for recovery.
+    lsfd_recovery = series("LSFD", 2)
+    assert lsfd_recovery[-1] == max(lsfd_recovery)
+    # High skew: runtime monotonically prefers smaller epochs...
+    hsmd_runtime = series("HSMD", 1)
+    assert hsmd_runtime[0] > hsmd_runtime[-1]
+    # ...while recovery prefers larger ones (inverse trends).
+    hsmd_recovery = series("HSMD", 2)
+    assert hsmd_recovery[0] < max(hsmd_recovery[2:])
+    hsfd_recovery = series("HSFD", 2)
+    assert hsfd_recovery[0] < hsfd_recovery[-1]

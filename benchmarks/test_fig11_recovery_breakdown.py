@@ -1,0 +1,43 @@
+"""Fig. 11(a-c) — recovery-time breakdown per scheme per application.
+
+For SL, GS and TP: per-bucket (Reload / Execute / Construct / Abort /
+Explore / Wait) recovery seconds for CKPT/WAL/DL/LV/MSR.  Shapes to
+hold: MSR total lowest everywhere; WAL's Wait dominates (sequential
+redo) and its Reload is the largest (global sort); DL's Construct
+(graph reconstruction) exceeds everyone else's; MSR's Explore is
+minimal.
+"""
+
+from __future__ import annotations
+
+from repro import buckets
+from repro.harness.figures import DEFAULT_SCALE, fig11_breakdown
+from repro.harness.report import (
+    print_figure,
+    recovery_breakdown_rows,
+    render_table,
+)
+
+HEADERS = ["scheme", *buckets.RECOVERY_BUCKETS, "total"]
+
+
+def test_fig11_recovery_breakdown(run_once):
+    results = run_once(fig11_breakdown, DEFAULT_SCALE)
+
+    for app, per_scheme in results.items():
+        print_figure(
+            f"Fig. 11 — recovery time breakdown ({app})",
+            render_table(HEADERS, recovery_breakdown_rows(per_scheme)),
+        )
+
+    for app, per_scheme in results.items():
+        totals = {name: sum(b.values()) for name, b in per_scheme.items()}
+        assert min(totals, key=totals.get) == "MSR", (app, totals)
+        wal = per_scheme["WAL"]
+        assert wal[buckets.WAIT] == max(wal.values())
+        assert wal[buckets.RELOAD] == max(
+            b[buckets.RELOAD] for b in per_scheme.values()
+        )
+        assert per_scheme["DL"][buckets.CONSTRUCT] == max(
+            b[buckets.CONSTRUCT] for b in per_scheme.values()
+        )

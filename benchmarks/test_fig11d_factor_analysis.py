@@ -1,0 +1,40 @@
+"""Fig. 11d — factor analysis of MSR's recovery optimizations.
+
+Recovery time as optimizations stack up (Simple → +OpRestructure →
++AbortPD → +OptTaskAssign), per application.  Shapes to hold: operation
+restructuring yields the largest single gain for dependency-heavy SL;
+optimized task assignment delivers the remaining gain for skewed GS;
+abort pushdown delivers it for abort-heavy TP.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import DEFAULT_SCALE, fig11d_factor
+from repro.harness.report import format_seconds, print_figure, render_table
+
+
+def test_fig11d_factor_analysis(run_once):
+    results = run_once(fig11d_factor, DEFAULT_SCALE)
+
+    rows = []
+    for app, steps in results.items():
+        for label, seconds in steps:
+            rows.append([app, label, format_seconds(seconds)])
+    print_figure(
+        "Fig. 11d — recovery time as optimizations are added",
+        render_table(["app", "configuration", "recovery time"], rows),
+    )
+
+    for app, steps in results.items():
+        times = dict(steps)
+        assert times["+OptTaskAssign"] < times["Simple"], app
+
+    sl = dict(results["SL"])
+    restructure_gain = sl["Simple"] - sl["+OpRestructure"]
+    assert restructure_gain > sl["+OpRestructure"] - sl["+OptTaskAssign"]
+
+    gs = dict(results["GS"])
+    assert gs["+OptTaskAssign"] < gs["+AbortPD"]
+
+    tp = dict(results["TP"])
+    assert tp["+AbortPD"] < tp["+OpRestructure"]

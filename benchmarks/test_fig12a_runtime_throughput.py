@@ -1,0 +1,32 @@
+"""Fig. 12a — runtime throughput of different systems.
+
+All six schemes on SL/GS/TP.  Shapes to hold: CKPT incurs the least
+fault-tolerance overhead; MSR stays within ~15% of native and clearly
+above the log-based schemes (WAL/DL/LV).
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import DEFAULT_SCALE, fig12a_runtime
+from repro.harness.report import format_throughput, print_figure, render_table
+
+
+def test_fig12a_runtime_throughput(run_once):
+    results = run_once(fig12a_runtime, DEFAULT_SCALE)
+
+    schemes = list(next(iter(results.values())))
+    rows = [
+        [app, *(format_throughput(per[name]) for name in schemes)]
+        for app, per in results.items()
+    ]
+    print_figure(
+        "Fig. 12a — runtime throughput per scheme",
+        render_table(["app", *schemes], rows),
+    )
+
+    for app, per in results.items():
+        ft_only = {k: v for k, v in per.items() if k != "NAT"}
+        assert max(ft_only, key=ft_only.get) == "CKPT", app
+        for name in ("WAL", "DL", "LV"):
+            assert per["MSR"] > per[name], (app, name)
+        assert per["MSR"] >= per["NAT"] * 0.8, app

@@ -1,0 +1,38 @@
+"""Fig. 12b — effectiveness of selective logging.
+
+Logging efficiency (recovery improvement over CKPT divided by runtime
+degradation against NAT) for MSR with and without selective logging, as
+the proportion of multi-partition transactions grows.  Shapes to hold:
+full logging is more efficient when dependencies are few (the
+partitioner's algorithmic overhead dominates); the gap narrows as
+multi-partition transactions — and hence PDs — increase, with selective
+logging overtaking at the top of the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import DEFAULT_SCALE, fig12b_selective
+from repro.harness.report import print_figure, render_table
+
+RATIOS = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def test_fig12b_selective_logging(run_once):
+    points = run_once(fig12b_selective, DEFAULT_SCALE, RATIOS)
+
+    rows = [
+        [f"{ratio:.0%}", f"{with_sel:.3f}", f"{without_sel:.3f}"]
+        for ratio, with_sel, without_sel in points
+    ]
+    print_figure(
+        "Fig. 12b — logging efficiency vs multi-partition transactions",
+        render_table(
+            ["multi-partition txns", "selective", "full logging"], rows
+        ),
+    )
+
+    first_gap = points[0][2] - points[0][1]
+    last_gap = points[-1][2] - points[-1][1]
+    assert first_gap > 0  # full logging wins at low dependency counts
+    assert last_gap < first_gap  # selective catches up as PDs grow
+    assert points[-1][1] > points[-1][2]  # and overtakes at the top

@@ -1,0 +1,30 @@
+"""Fig. 12c — maximum memory consumption at runtime (SL).
+
+Peak memory footprint per scheme.  Shapes to hold: CKPT (no logs) is
+the floor; MSR's views cost less memory than DL's edge records and LV's
+vectors (the paper reports roughly +20% vs +35%/+38% over CKPT).
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import DEFAULT_SCALE, fig12c_memory
+from repro.harness.report import print_figure, render_table
+
+
+def test_fig12c_memory_footprint(run_once):
+    results = run_once(fig12c_memory, DEFAULT_SCALE)
+
+    baseline = results["CKPT"]
+    rows = [
+        [name, f"{peak / 1024:.1f} KiB", f"{peak / baseline - 1:+.0%}"]
+        for name, peak in results.items()
+    ]
+    print_figure(
+        "Fig. 12c — peak runtime memory footprint (SL, vs CKPT)",
+        render_table(["scheme", "peak memory", "vs CKPT"], rows),
+    )
+
+    for name in ("WAL", "DL", "LV", "MSR"):
+        assert results[name] >= baseline, name
+    assert results["MSR"] < results["DL"]
+    assert results["MSR"] < results["LV"]

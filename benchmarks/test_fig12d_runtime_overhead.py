@@ -1,0 +1,44 @@
+"""Fig. 12d — runtime overhead relative to native execution (SL).
+
+Per-scheme I/O / Tracking / Sync seconds.  Shapes to hold: LV pays the
+most tracking (vector maintenance); selective logging keeps MSR's
+tracking and I/O well below DL/LV; I/O remains a major component for
+every logging scheme.
+"""
+
+from __future__ import annotations
+
+from repro import buckets
+from repro.harness.figures import DEFAULT_SCALE, fig12d_overhead
+from repro.harness.report import format_seconds, print_figure, render_table
+
+
+def test_fig12d_runtime_overhead(run_once):
+    results = run_once(fig12d_overhead, DEFAULT_SCALE)
+
+    rows = []
+    for name, per_bucket in results.items():
+        rows.append(
+            [
+                name,
+                *(
+                    format_seconds(per_bucket[b])
+                    for b in buckets.RUNTIME_OVERHEAD_BUCKETS
+                ),
+                format_seconds(sum(per_bucket.values())),
+            ]
+        )
+    print_figure(
+        "Fig. 12d — runtime overhead breakdown (SL)",
+        render_table(
+            ["scheme", *buckets.RUNTIME_OVERHEAD_BUCKETS, "total"], rows
+        ),
+    )
+
+    assert results["NAT"][buckets.IO] == 0.0
+    assert results["NAT"][buckets.TRACK] == 0.0
+    lv_track = results["LV"][buckets.TRACK]
+    for name in ("NAT", "CKPT", "WAL", "MSR"):
+        assert lv_track > results[name][buckets.TRACK], name
+    assert results["MSR"][buckets.TRACK] < results["DL"][buckets.TRACK]
+    assert results["MSR"][buckets.IO] < results["DL"][buckets.IO]

@@ -1,0 +1,48 @@
+"""Fig. 13 — recovery throughput as the number of cores increases.
+
+Input events recovered per second for every scheme on SL/GS/TP from 1
+to 32 cores.  Shapes to hold: MSR scales effectively on all three
+applications; WAL saturates immediately (sequential redo, and is the
+best choice at a single core); CKPT scales on low-contention workloads
+but is synchronization-bound on GS; LV's scaling is limited by the
+workload's inherent parallelism.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import DEFAULT_SCALE, fig13_scalability
+from repro.harness.report import format_throughput, print_figure, render_table
+
+CORES = (1, 2, 4, 8, 16, 32)
+
+
+def test_fig13_scalability(run_once):
+    results = run_once(fig13_scalability, DEFAULT_SCALE, CORES)
+
+    for app, per_scheme in results.items():
+        rows = [
+            [name, *(format_throughput(eps) for _c, eps in points)]
+            for name, points in per_scheme.items()
+        ]
+        print_figure(
+            f"Fig. 13 — recovery throughput vs cores ({app})",
+            render_table(["scheme", *(str(c) for c in CORES)], rows),
+        )
+
+    for app, per_scheme in results.items():
+        msr = dict(per_scheme["MSR"])
+        wal = dict(per_scheme["WAL"])
+        assert msr[32] > 5 * msr[1], app  # MSR scales
+        assert wal[32] < 2 * wal[1], app  # WAL does not
+        assert msr[32] == max(
+            dict(points)[32] for points in per_scheme.values()
+        ), app
+
+    # WAL wins at a single core (no sort, while MSR pays its constant
+    # dependency-aware-optimization overhead), especially on TP.
+    assert dict(results["TP"]["WAL"])[1] > dict(results["TP"]["MSR"])[1]
+
+    # CKPT scales worse on contended GS than on SL.
+    ckpt_gs = dict(results["GS"]["CKPT"])
+    ckpt_sl = dict(results["SL"]["CKPT"])
+    assert ckpt_gs[32] / ckpt_gs[1] < ckpt_sl[32] / ckpt_sl[1]

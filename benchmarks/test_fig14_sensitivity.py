@@ -1,0 +1,85 @@
+"""Fig. 14 — workload sensitivity study (Grep&Sum).
+
+Three sweeps of recovery throughput:
+
+- (a) multi-partition transaction ratio (skew 0, no aborts): MSR leads
+  throughout because dependency inspection replaces the cross-partition
+  exploration the other schemes pay for;
+- (b) state-access skew (write-only): LV is the best at uniform access
+  and collapses as skew grows; MSR is skew-tolerant thanks to optimized
+  task assignment;
+- (c) abort ratio (0–80%): WAL improves with aborts (fewer committed
+  commands to redo); MSR leads through moderate abort ratios but is
+  overtaken at the extreme, matching §VIII-F.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import (
+    DEFAULT_SCALE,
+    fig14a_multi_partition,
+    fig14b_skew,
+    fig14c_aborts,
+)
+from repro.harness.report import format_throughput, print_figure, render_table
+
+
+def _table(title, results, x_format):
+    first = next(iter(results.values()))
+    xs = [x for x, _eps in first]
+    rows = [
+        [name, *(format_throughput(eps) for _x, eps in points)]
+        for name, points in results.items()
+    ]
+    print_figure(title, render_table(["scheme", *(x_format(x) for x in xs)], rows))
+
+
+def test_fig14a_multi_partition_ratio(run_once):
+    results = run_once(fig14a_multi_partition, DEFAULT_SCALE)
+    _table(
+        "Fig. 14a — recovery throughput vs multi-partition ratio (GS)",
+        results,
+        lambda x: f"{x:.0%}",
+    )
+    for index in range(len(results["MSR"])):
+        msr = results["MSR"][index][1]
+        for name in ("CKPT", "WAL", "DL", "LV"):
+            assert msr > results[name][index][1], (index, name)
+    # CKPT degrades as cross-partition dependencies grow.
+    assert results["CKPT"][-1][1] < results["CKPT"][0][1]
+
+
+def test_fig14b_state_access_skew(run_once):
+    results = run_once(fig14b_skew, DEFAULT_SCALE)
+    _table(
+        "Fig. 14b — recovery throughput vs access skew (GS write-only)",
+        results,
+        lambda x: f"{x:.2f}",
+    )
+    at_uniform = {name: points[0][1] for name, points in results.items()}
+    assert max(at_uniform, key=at_uniform.get) == "LV"
+    # LV and CKPT degrade with skew; MSR tolerates it.
+    assert results["LV"][-1][1] < 0.5 * results["LV"][0][1]
+    assert results["CKPT"][-1][1] < results["CKPT"][0][1]
+    assert results["MSR"][-1][1] > 0.9 * results["MSR"][0][1]
+    at_extreme = {name: points[-1][1] for name, points in results.items()}
+    assert max(at_extreme, key=at_extreme.get) == "MSR"
+
+
+def test_fig14c_aborting_transactions(run_once):
+    results = run_once(fig14c_aborts, DEFAULT_SCALE)
+    _table(
+        "Fig. 14c — recovery throughput vs abort ratio (GS)",
+        results,
+        lambda x: f"{x:.0%}",
+    )
+    # WAL improves monotonically: it only redoes committed commands.
+    wal = [eps for _x, eps in results["WAL"]]
+    assert wal == sorted(wal)
+    # MSR leads through moderate ratios...
+    for index in range(3):
+        msr = results["MSR"][index][1]
+        for name in ("CKPT", "WAL", "DL", "LV"):
+            assert msr > results[name][index][1], (index, name)
+    # ...but the lead is not guaranteed at 80% (§VIII-F).
+    assert results["LV"][-1][1] > results["MSR"][-1][1]

@@ -1,0 +1,87 @@
+"""Compare fault-tolerance schemes on Streaming Ledger (Fig. 2 style).
+
+Runs NAT, CKPT, WAL, DL, LV and MSR through the same stream, crashes
+each one at the same point, and prints runtime throughput against
+recovery time plus the recovery-time breakdown — a miniature of the
+paper's motivation experiment.
+
+Run::
+
+    python examples/ledger_failover_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import SCHEMES
+from repro.buckets import RECOVERY_BUCKETS
+from repro.harness.report import (
+    format_seconds,
+    format_throughput,
+    print_figure,
+    render_table,
+)
+from repro.harness.runner import ExperimentConfig, run_experiment
+from repro.workloads.streaming_ledger import StreamingLedger
+
+
+def make_workload() -> StreamingLedger:
+    return StreamingLedger(
+        512,
+        transfer_ratio=0.5,
+        multi_partition_ratio=0.2,
+        skew=0.6,
+        num_partitions=8,
+    )
+
+
+def main() -> None:
+    summary_rows = []
+    breakdown_rows = []
+    for name, scheme in SCHEMES.items():
+        result = run_experiment(
+            ExperimentConfig(
+                workload_factory=make_workload,
+                scheme=scheme,
+                num_workers=8,
+                epoch_len=256,
+                snapshot_interval=5,
+                recover_epochs=4,
+            )
+        )
+        recovery = result.recovery
+        summary_rows.append(
+            [
+                name,
+                format_throughput(result.runtime.throughput_eps),
+                format_seconds(recovery.elapsed_seconds) if recovery else "n/a",
+                "ok" if result.state_verified else "FAILED",
+            ]
+        )
+        if recovery:
+            breakdown_rows.append(
+                [name]
+                + [
+                    format_seconds(recovery.buckets.get(b, 0.0))
+                    for b in RECOVERY_BUCKETS
+                ]
+            )
+
+    print_figure(
+        "Streaming Ledger: runtime vs recovery per scheme",
+        render_table(
+            ["scheme", "runtime", "recovery time", "state"], summary_rows
+        ),
+    )
+    print_figure(
+        "Recovery time breakdown",
+        render_table(["scheme", *RECOVERY_BUCKETS], breakdown_rows),
+    )
+    print(
+        "\nMSR recovers fastest because abort pushdown, operation\n"
+        "restructuring and LPT assignment eliminate the dependency\n"
+        "resolution the other schemes must redo."
+    )
+
+
+if __name__ == "__main__":
+    main()

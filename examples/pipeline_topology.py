@@ -1,0 +1,69 @@
+"""A two-operator pipeline: ledger → fee accounting, with failover.
+
+Demonstrates the topology adaptation of §III-B: all state transactions
+triggered by one input event — across every operator — group-commit per
+epoch, input events persist only at the topology ingress, and recovery
+replays the chain so downstream inputs are regenerated from upstream
+replay rather than logged twice.
+
+Run::
+
+    python examples/pipeline_topology.py
+"""
+
+from __future__ import annotations
+
+from repro import MorphStreamR, GlobalCheckpoint
+from repro.harness.report import format_seconds, format_throughput
+from repro.topology import FeeAccountingStage, LedgerStage, TopologyEngine
+
+
+def build_topology(scheme_cls):
+    stages = [
+        LedgerStage(
+            256,
+            transfer_ratio=0.7,
+            multi_partition_ratio=0.3,
+            skew=0.5,
+            num_partitions=8,
+        ),
+        FeeAccountingStage(64, fee_rate=0.01, num_partitions=8),
+    ]
+    return stages, TopologyEngine(
+        stages,
+        scheme_cls,
+        num_workers=8,
+        epoch_len=256,
+        snapshot_interval=4,
+    )
+
+
+def main() -> None:
+    for scheme_cls in (GlobalCheckpoint, MorphStreamR):
+        stages, topo = build_topology(scheme_cls)
+        events = stages[0].generate(2560, seed=11)
+        runtime = topo.process_stream(events)
+        topo.crash()
+        recovery = topo.recover()
+
+        upstream, downstream = runtime.stage_event_counts
+        print(f"{scheme_cls.__name__}:")
+        print(f"  runtime throughput : {format_throughput(runtime.throughput_eps)}")
+        print(f"  events per stage   : {upstream} ledger -> {downstream} fee bookings")
+        print(f"  recovery time      : {format_seconds(recovery.elapsed_seconds)}")
+        print(f"  outputs at sink    : {len(topo.sink)} (exactly once)")
+        total_fees = sum(
+            value
+            for kind, value in topo.sink.outputs().values()
+            if kind == "fee"
+        )
+        print(f"  fee revenue booked : {total_fees:.2f}\n")
+
+    print(
+        "both engines recover the chain exactly; MorphStreamR does it\n"
+        "faster because each stage's recovery is dependency-free."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Soak: repeated failures across mixed workloads, MTTR accounting.
+
+Drives every recoverable scheme through a long stream punctuated by
+repeated crashes, verifying exactness after each recovery, and reports
+mean-time-to-recover statistics — the operational view of the paper's
+recovery-time results.
+
+Run::
+
+    python examples/soak_failover.py [crashes]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SCHEMES
+from repro.harness.report import format_seconds, format_throughput, print_figure, render_table
+from repro.harness.runner import ground_truth
+from repro.workloads.streaming_ledger import StreamingLedger
+
+
+def soak(scheme_cls, crashes: int):
+    workload = StreamingLedger(
+        256,
+        transfer_ratio=0.6,
+        multi_partition_ratio=0.3,
+        skew=0.5,
+        query_ratio=0.1,
+        num_partitions=8,
+    )
+    scheme = scheme_cls(
+        workload, num_workers=8, epoch_len=128, snapshot_interval=4
+    )
+    segment = 128 * 7  # crash lands 2 epochs past a checkpoint
+    events = workload.generate(segment * crashes, seed=99)
+    recovery_times = []
+    for i in range(crashes):
+        scheme.process_stream(events[i * segment : (i + 1) * segment])
+        scheme.crash()
+        report = scheme.recover()
+        recovery_times.append(report.elapsed_seconds)
+        expected, _outputs = ground_truth(workload, events[: (i + 1) * segment])
+        assert scheme.store.equals(expected), f"divergence after crash {i}"
+    assert len(scheme.sink) == segment * crashes
+    return recovery_times
+
+
+def main() -> None:
+    crashes = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    rows = []
+    for name, scheme_cls in SCHEMES.items():
+        if name == "NAT":
+            continue
+        times = soak(scheme_cls, crashes)
+        rows.append(
+            [
+                name,
+                crashes,
+                format_seconds(sum(times) / len(times)),
+                format_seconds(max(times)),
+                "ok",
+            ]
+        )
+    print_figure(
+        f"Soak — {crashes} crash/recover cycles on Streaming Ledger",
+        render_table(
+            ["scheme", "crashes", "mean recovery", "worst recovery", "state"],
+            rows,
+        ),
+    )
+    print(
+        "\nevery cycle re-verified the full stream against the serial\n"
+        "ground truth; exactly-once delivery held throughout."
+    )
+
+
+if __name__ == "__main__":
+    main()

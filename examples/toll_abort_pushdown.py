@@ -1,0 +1,75 @@
+"""Toll Processing: watch abort pushdown at work.
+
+Linear-Road-style tolling where hot road segments saturate their
+vehicle-count capacity and reject further reports — the data-dependent
+aborts the paper calls common in TP.  The example runs MorphStreamR
+twice through the same crash, with abort pushdown enabled and disabled,
+and shows how the AbortView lets recovery discard doomed events before
+preprocessing.
+
+Run::
+
+    python examples/toll_abort_pushdown.py
+"""
+
+from __future__ import annotations
+
+from repro import MorphStreamR, MSROptions, TollProcessing
+from repro.buckets import ABORT
+from repro.harness.report import format_seconds
+from repro.harness.runner import ground_truth
+
+
+def run(options: MSROptions, label: str, workload, events):
+    engine = MorphStreamR(
+        workload,
+        num_workers=8,
+        epoch_len=256,
+        snapshot_interval=5,
+        options=options,
+    )
+    engine.process_stream(events)
+    engine.crash()
+    recovery = engine.recover()
+
+    expected_state, _outputs = ground_truth(workload, events)
+    assert engine.store.equals(expected_state)
+
+    print(f"{label}:")
+    print(f"  recovery time        : {format_seconds(recovery.elapsed_seconds)}")
+    print(f"  abort-handling time  : {format_seconds(recovery.buckets.get(ABORT, 0.0))}")
+    return recovery
+
+
+def main() -> None:
+    workload = TollProcessing(
+        256, skew=0.6, capacity=10.0, num_partitions=8
+    )
+    events = workload.generate(2304, seed=7)
+
+    # How abort-heavy is this stream?
+    _state, outputs = ground_truth(workload, events)
+    rejected = sum(1 for out in outputs.values() if out == ("report", "rejected"))
+    print(
+        f"stream: {len(events)} vehicle reports, "
+        f"{rejected} rejected at capacity ({rejected / len(events):.0%})\n"
+    )
+
+    with_pd = run(MSROptions(), "with abort pushdown", workload, events)
+    without_pd = run(
+        MSROptions(abort_pushdown=False),
+        "without abort pushdown",
+        workload,
+        events,
+    )
+
+    saved = without_pd.elapsed_seconds - with_pd.elapsed_seconds
+    print(
+        f"\nabort pushdown saved {format_seconds(max(saved, 0.0))} of recovery "
+        "time by discarding doomed reports before preprocessing\n"
+        "(their conditions are never re-evaluated and no rollback runs)."
+    )
+
+
+if __name__ == "__main__":
+    main()

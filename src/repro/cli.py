@@ -1,0 +1,368 @@
+"""Command-line interface: run experiments and figure reproductions.
+
+Three subcommands::
+
+    repro list                      # available workloads/schemes/figures
+    repro run --workload SL --scheme MSR [sizing options]
+    repro figure fig11 [--quick]
+
+``repro run`` executes one runtime → crash → recovery experiment with
+full verification and prints both reports; ``repro figure`` regenerates
+one of the paper's evaluation figures and prints the series the figure
+plots (the same output the benchmarks produce).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro import SCHEMES
+from repro.buckets import RECOVERY_BUCKETS, RUNTIME_OVERHEAD_BUCKETS
+from repro.harness import figures
+from repro.harness.calibration import all_hold, run_calibration
+from repro.harness.plot import bar_chart, line_chart
+from repro.harness.report import (
+    format_seconds,
+    format_throughput,
+    print_figure,
+    render_table,
+)
+from repro.harness.runner import ExperimentConfig, run_experiment
+
+#: figure name -> (callable, human description).
+FIGURES: Dict[str, tuple] = {
+    "fig2": (figures.fig2_motivation, "runtime vs recovery per scheme (SL)"),
+    "fig9": (figures.fig9_commit_epochs, "commitment-epoch trade-off (GS)"),
+    "fig11": (figures.fig11_breakdown, "recovery-time breakdown per scheme"),
+    "fig11d": (figures.fig11d_factor, "factor analysis of MSR optimizations"),
+    "fig12a": (figures.fig12a_runtime, "runtime throughput per scheme"),
+    "fig12b": (figures.fig12b_selective, "selective-logging efficiency"),
+    "fig12c": (figures.fig12c_memory, "peak memory footprint per scheme"),
+    "fig12d": (figures.fig12d_overhead, "runtime overhead breakdown"),
+    "fig13": (figures.fig13_scalability, "recovery scalability vs cores"),
+    "fig14a": (figures.fig14a_multi_partition, "multi-partition sensitivity"),
+    "fig14b": (figures.fig14b_skew, "skew sensitivity (write-only)"),
+    "fig14c": (figures.fig14c_aborts, "abort-ratio sensitivity"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MorphStreamR reproduction: fault-tolerant "
+        "transactional stream processing experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, schemes and figures")
+
+    run = sub.add_parser(
+        "run", help="run one crash-recovery experiment with verification"
+    )
+    run.add_argument(
+        "--workload", choices=sorted(figures.WORKLOADS), default="SL"
+    )
+    run.add_argument("--scheme", choices=sorted(SCHEMES), default="MSR")
+    run.add_argument("--workers", type=int, default=8)
+    run.add_argument("--epoch-len", type=int, default=256)
+    run.add_argument("--snapshot-interval", type=int, default=5)
+    run.add_argument(
+        "--recover-epochs",
+        type=int,
+        default=4,
+        help="epochs lost between the last checkpoint and the crash",
+    )
+    run.add_argument("--seed", type=int, default=7)
+
+    fig = sub.add_parser("figure", help="reproduce one evaluation figure")
+    fig.add_argument("name", choices=sorted(FIGURES))
+    fig.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced test-size scale instead of benchmark scale",
+    )
+    fig.add_argument(
+        "--plot",
+        action="store_true",
+        help="additionally render an ASCII chart of the figure",
+    )
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="verify every qualitative paper claim against the current "
+        "cost model",
+    )
+    cal.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced test-size scale instead of benchmark scale",
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    print_figure(
+        "Workloads",
+        render_table(
+            ["name", "application"],
+            [
+                ["SL", "Streaming Ledger: account/asset transfers"],
+                ["GS", "Grep&Sum: skewed shared-state summation"],
+                ["TP", "Toll Processing: Linear-Road-style tolling"],
+            ],
+        ),
+    )
+    print_figure(
+        "Schemes",
+        render_table(
+            ["name", "mechanism"],
+            [
+                ["NAT", "native MorphStream, no fault tolerance"],
+                ["CKPT", "global checkpointing + input replay"],
+                ["WAL", "command logging, sequential redo"],
+                ["DL", "DistDGCC dependency-graph logging"],
+                ["LV", "Taurus LSN-vector logging"],
+                ["MSR", "MorphStreamR: intermediate-result views"],
+            ],
+        ),
+    )
+    print_figure(
+        "Figures",
+        render_table(
+            ["name", "reproduces"],
+            [[name, desc] for name, (_fn, desc) in sorted(FIGURES.items())],
+        ),
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    factory = figures.WORKLOADS[args.workload]()
+    config = ExperimentConfig(
+        workload_factory=factory,
+        scheme=SCHEMES[args.scheme],
+        num_workers=args.workers,
+        epoch_len=args.epoch_len,
+        snapshot_interval=args.snapshot_interval,
+        recover_epochs=args.recover_epochs,
+        seed=args.seed,
+    )
+    result = run_experiment(config)
+    runtime = result.runtime
+    print_figure(
+        f"{args.scheme} on {args.workload} — runtime phase",
+        render_table(
+            ["metric", "value"],
+            [
+                ["events processed", runtime.events_processed],
+                ["throughput", format_throughput(runtime.throughput_eps)],
+                ["peak memory", f"{runtime.peak_memory_bytes / 1024:.1f} KiB"],
+                ["log bytes", runtime.bytes_logged],
+                *[
+                    [f"{b} overhead", format_seconds(runtime.buckets.get(b, 0.0))]
+                    for b in RUNTIME_OVERHEAD_BUCKETS
+                ],
+            ],
+        ),
+    )
+    if result.recovery is None:
+        print("\nscheme does not support recovery (runtime phase only)")
+        return 0
+    recovery = result.recovery
+    print_figure(
+        f"{args.scheme} on {args.workload} — recovery phase",
+        render_table(
+            ["metric", "value"],
+            [
+                ["events replayed", recovery.events_replayed],
+                ["recovery time", format_seconds(recovery.elapsed_seconds)],
+                ["throughput", format_throughput(recovery.throughput_eps)],
+                *[
+                    [b, format_seconds(recovery.buckets.get(b, 0.0))]
+                    for b in RECOVERY_BUCKETS
+                ],
+            ],
+        ),
+    )
+    print("\nstate verified against serial ground truth: OK")
+    print("outputs delivered exactly once: OK")
+    return 0
+
+
+def _render_figure(name: str, data) -> None:
+    """Best-effort tabular rendering for any figure's data shape."""
+    if name == "fig2":
+        rows = [
+            [
+                scheme,
+                format_throughput(row["runtime_eps"]),
+                format_seconds(row["recovery_seconds"])
+                if row["recovery_seconds"]
+                else "n/a",
+            ]
+            for scheme, row in data.items()
+        ]
+        print_figure(name, render_table(["scheme", "runtime", "recovery"], rows))
+    elif name == "fig9":
+        rows = [
+            [regime, epoch, format_throughput(rt), format_throughput(rec)]
+            for regime, points in data.items()
+            for epoch, rt, rec in points
+        ]
+        print_figure(
+            name, render_table(["regime", "epoch", "runtime", "recovery"], rows)
+        )
+    elif name == "fig11":
+        for app, per_scheme in data.items():
+            rows = [
+                [scheme]
+                + [format_seconds(b.get(k, 0.0)) for k in RECOVERY_BUCKETS]
+                for scheme, b in per_scheme.items()
+            ]
+            print_figure(
+                f"{name} ({app})",
+                render_table(["scheme", *RECOVERY_BUCKETS], rows),
+            )
+    elif name == "fig11d":
+        rows = [
+            [app, label, format_seconds(seconds)]
+            for app, steps in data.items()
+            for label, seconds in steps
+        ]
+        print_figure(name, render_table(["app", "step", "recovery"], rows))
+    elif name == "fig12a":
+        schemes = list(next(iter(data.values())))
+        rows = [
+            [app, *(format_throughput(per[s]) for s in schemes)]
+            for app, per in data.items()
+        ]
+        print_figure(name, render_table(["app", *schemes], rows))
+    elif name == "fig12b":
+        rows = [
+            [f"{ratio:.0%}", f"{w:.3f}", f"{wo:.3f}"] for ratio, w, wo in data
+        ]
+        print_figure(
+            name, render_table(["ratio", "selective", "full logging"], rows)
+        )
+    elif name == "fig12c":
+        rows = [[s, f"{b / 1024:.1f} KiB"] for s, b in data.items()]
+        print_figure(name, render_table(["scheme", "peak memory"], rows))
+    elif name == "fig12d":
+        rows = [
+            [s, *(format_seconds(b.get(k, 0.0)) for k in RUNTIME_OVERHEAD_BUCKETS)]
+            for s, b in data.items()
+        ]
+        print_figure(
+            name, render_table(["scheme", *RUNTIME_OVERHEAD_BUCKETS], rows)
+        )
+    else:  # fig13 / fig14*: {(app ->)? scheme -> [(x, eps)]}
+        def render_curves(title, curves):
+            xs = [x for x, _e in next(iter(curves.values()))]
+            rows = [
+                [s, *(format_throughput(e) for _x, e in points)]
+                for s, points in curves.items()
+            ]
+            print_figure(title, render_table(["scheme", *map(str, xs)], rows))
+
+        first_value = next(iter(data.values()))
+        if isinstance(first_value, dict):  # fig13: nested by app
+            for app, curves in data.items():
+                render_curves(f"{name} ({app})", curves)
+        else:
+            render_curves(name, data)
+
+
+def _plot_figure(name: str, data) -> None:
+    """ASCII chart rendering for the figures that are curves or bars."""
+    if name == "fig2":
+        print(
+            bar_chart(
+                {
+                    s: row["recovery_seconds"] * 1e3
+                    for s, row in data.items()
+                    if row["recovery_seconds"]
+                },
+                unit="ms",
+            )
+        )
+    elif name == "fig9":
+        print(
+            line_chart(
+                {r: [(e, rec) for e, _rt, rec in pts] for r, pts in data.items()},
+                x_label="commit epoch (events)",
+                y_label="recovery events/s",
+            )
+        )
+    elif name == "fig12c":
+        print(bar_chart({s: b / 1024 for s, b in data.items()}, unit="KiB"))
+    elif name in ("fig14a", "fig14b", "fig14c"):
+        print(
+            line_chart(
+                {s: list(pts) for s, pts in data.items()},
+                x_label="swept parameter",
+                y_label="recovery events/s",
+            )
+        )
+    elif name == "fig13":
+        for app, curves in data.items():
+            print(f"[{app}]")
+            print(
+                line_chart(
+                    {s: list(pts) for s, pts in curves.items()},
+                    x_label="cores",
+                    y_label="recovery events/s",
+                )
+            )
+    else:
+        print("(no chart rendering for this figure; see the table above)")
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    fn, description = FIGURES[args.name]
+    scale = figures.QUICK_SCALE if args.quick else figures.DEFAULT_SCALE
+    print(f"reproducing {args.name}: {description} ...")
+    data = fn(scale)
+    _render_figure(args.name, data)
+    if args.plot:
+        print()
+        _plot_figure(args.name, data)
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    scale = figures.QUICK_SCALE if args.quick else figures.DEFAULT_SCALE
+    print("running the qualitative-claim battery ...")
+    checks = run_calibration(scale)
+    rows = [
+        ["PASS" if c.holds else "FAIL", c.claim, c.reference, c.detail]
+        for c in checks
+    ]
+    print_figure(
+        "Calibration — paper claims vs current cost model",
+        render_table(["verdict", "claim", "paper ref", "detail"], rows),
+    )
+    if all_hold(checks):
+        print("\nall claims hold")
+        return 0
+    failing = sum(1 for c in checks if not c.holds)
+    print(f"\n{failing} claim(s) FAILED — see EXPERIMENTS.md and docs/cost-model.md")
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Workload-aware log commitment (§VI-B).
+
+Workload characteristics determine how the log-commitment epoch should
+be sized (Fig. 9):
+
+- **LSFD** (low skew, few dependencies): larger epochs batch more
+  operations per commit and help both runtime and recovery — go big.
+- **LSMD** (low skew, many dependencies): large epochs inflate the
+  intermediate-result index that recovery must build, offsetting the
+  group-commit benefit — stay moderate.
+- **HSFD/HSMD** (high skew): runtime prefers *small* epochs (skewed
+  chains grow with the epoch and unbalance workers) while recovery
+  prefers *large* ones (more restructuring opportunity); the controller
+  interpolates by the configured objective weight.
+
+:class:`WorkloadProfile` captures the two factors of §VI-B1 — access
+skewness and dependency count — from an executed epoch;
+:class:`AdaptiveCommitController` turns a profile into an epoch length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.engine.refs import StateRef
+from repro.engine.serial import SerialOutcome
+from repro.engine.tpg import TaskPrecedenceGraph
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Measured characteristics of one processed epoch (§VI-B1)."""
+
+    #: Write-concentration estimate in [0, 1]: excess share of writes
+    #: hitting the ten hottest records (0 ~ uniform).
+    skew: float
+    #: LD+PD dependencies per operation.
+    dependencies_per_op: float
+    #: Fraction of transactions that aborted.
+    abort_ratio: float
+    #: Fraction of transactions spanning multiple partitions (if known).
+    multi_partition_ratio: float = 0.0
+
+    @property
+    def regime(self) -> str:
+        """The Fig. 9 quadrant this profile falls into."""
+        skewed = self.skew >= SKEW_THRESHOLD
+        dependent = self.dependencies_per_op >= DEPS_THRESHOLD
+        if skewed:
+            return "HSMD" if dependent else "HSFD"
+        return "LSMD" if dependent else "LSFD"
+
+
+#: Write concentration above which a workload counts as high-skew.
+SKEW_THRESHOLD = 0.15
+#: LD+PD edges per operation above which dependencies count as "many".
+DEPS_THRESHOLD = 0.5
+
+
+def profile_epoch(
+    tpg: TaskPrecedenceGraph,
+    outcome: SerialOutcome,
+    partition_spans: int = 0,
+) -> WorkloadProfile:
+    """Profile one executed epoch for the commitment controller."""
+    # Concentration is measured over *writes*: skewed writes are what
+    # lengthen individual chains and unbalance workers (the load-
+    # imbalance mechanism of §VI-B); uniformly spread reads of a few hot
+    # records do not serialize anything.
+    access_counts: Dict[StateRef, int] = {}
+    total_accesses = 0
+    for op in tpg.ops:
+        access_counts[op.ref] = access_counts.get(op.ref, 0) + 1
+        total_accesses += 1
+    skew = 0.0
+    if access_counts and total_accesses:
+        # Share of accesses hitting the ten hottest records, in excess
+        # of what a uniform spread would give them.  A fixed-size hot
+        # set keeps the estimate stable across epoch lengths and key
+        # spaces (a percentage-of-touched-records hot set does not).
+        hot = min(10, len(access_counts))
+        top = sorted(access_counts.values(), reverse=True)[:hot]
+        hot_share = sum(top) / total_accesses
+        uniform_share = hot / len(access_counts)
+        skew = max(0.0, hot_share - uniform_share)
+    counts = tpg.edge_counts()
+    num_ops = max(1, len(tpg.ops))
+    num_txns = max(1, len(tpg.txns))
+    return WorkloadProfile(
+        skew=skew,
+        dependencies_per_op=(counts["pd"] + counts["ld"]) / num_ops,
+        abort_ratio=len(outcome.aborted) / num_txns,
+        multi_partition_ratio=partition_spans / num_txns,
+    )
+
+
+class AdaptiveCommitController:
+    """Chooses the log-commitment epoch length from a profile (§VI-B2)."""
+
+    def __init__(
+        self,
+        min_epoch: int = 128,
+        max_epoch: int = 4096,
+        recovery_weight: float = 0.5,
+    ):
+        if min_epoch < 1 or max_epoch < min_epoch:
+            raise ConfigError("need 1 <= min_epoch <= max_epoch")
+        if not 0.0 <= recovery_weight <= 1.0:
+            raise ConfigError("recovery_weight must be in [0, 1]")
+        self.min_epoch = min_epoch
+        self.max_epoch = max_epoch
+        #: 1.0 optimizes purely for recovery, 0.0 purely for runtime.
+        self.recovery_weight = recovery_weight
+
+    def _geometric(self, fraction: float) -> int:
+        """Interpolate geometrically between min and max epoch."""
+        span = math.log(self.max_epoch / self.min_epoch)
+        return max(
+            self.min_epoch,
+            min(self.max_epoch, round(self.min_epoch * math.exp(span * fraction))),
+        )
+
+    def recommend(self, profile: WorkloadProfile) -> int:
+        """Epoch length for the measured regime (policy of §VI-B2)."""
+        regime = profile.regime
+        if regime == "LSFD":
+            # Both phases benefit from batching: go as large as allowed.
+            return self.max_epoch
+        if regime == "LSMD":
+            # Batching helps runtime, but the recovery-side index cost
+            # grows with the epoch; stop midway.
+            return self._geometric(0.5)
+        # High skew: runtime wants small epochs, recovery wants large —
+        # interpolate by the operator's objective.
+        return self._geometric(self.recovery_weight)

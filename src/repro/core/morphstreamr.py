@@ -1,0 +1,445 @@
+"""MorphStreamR (MSR): fast parallel recovery for TSP (§IV–§VI).
+
+Runtime (§VI-C): besides the base pipeline, every epoch
+
+1. partitions the chain graph (selective logging, §VI-A1) and tracks
+   only dependencies crossing partitions;
+2. records intermediate results of resolved dependencies — aborted
+   transaction ids (AbortView) and cross-partition read values
+   (ParametricView) — into the Logging Manager;
+3. group-commits the views on the Fault-tolerance Manager's commit
+   markers, optionally resizing the punctuation epoch through the
+   workload-aware commitment controller (§VI-B).
+
+Recovery (§V-C): for every lost epoch whose views were committed,
+
+1. reload and index the views (steps ③–④ of Fig. 7);
+2. *abort pushdown*: discard doomed events before preprocessing (⑤);
+3. *operation restructuring*: rebuild surviving operations into
+   independent per-record chains, resolving cross-partition reads from
+   the ParametricView and leaving intra-partition reads to shadow
+   exploration (⑥);
+4. *optimized task assignment*: LPT-schedule partition bundles onto
+   workers (⑦) and execute with zero cross-worker synchronization.
+
+Every optimization is individually switchable through
+:class:`MSROptions` — that is how the factor analysis of Fig. 11d runs.
+Epochs whose views were still buffered at the crash (commit interval
+greater than one epoch) fall back to full reprocessing, which is the
+mechanism behind the commitment trade-off of Fig. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import buckets
+from repro.core.abortpushdown import push_down_aborts
+from repro.core.assignment import lpt_assign, round_robin_assign
+from repro.core.commitment import AdaptiveCommitController, profile_epoch
+from repro.core.ftmanager import COMMIT, FaultToleranceManager, MarkerSchedule
+from repro.core.logmanager import LoggingManager, ViewSegment
+from repro.core.partition import build_chain_graph, greedy_partition
+from repro.core.restructure import (
+    ReadClass,
+    RestructuredEpoch,
+    chains_by_partition,
+    restructure_operations,
+)
+from repro.core.shadow import explore_chains
+from repro.core.views import CONDITION_INDEX, AbortView, ParametricView
+from repro.engine.events import Event
+from repro.engine.execution import preprocess
+from repro.engine.functions import apply_state_function
+from repro.engine.refs import StateRef
+from repro.engine.state import StateStore
+from repro.engine.transactions import Transaction
+from repro.errors import ConfigError
+from repro.ft.base import EpochContext, FTScheme
+from repro.sim.clock import Machine
+from repro.sim.executor import ParallelExecutor, SimTask
+
+
+@dataclass(frozen=True)
+class MSROptions:
+    """Feature switches for the factor/ablation studies.
+
+    The Fig. 11d increments correspond to::
+
+        Simple          MSROptions(op_restructure=False,
+                                   abort_pushdown=False,
+                                   opt_task_assign=False)
+        +OpRestructure  MSROptions(abort_pushdown=False,
+                                   opt_task_assign=False)
+        +AbortPD        MSROptions(opt_task_assign=False)
+        +OptTaskAssign  MSROptions()                      # full MSR
+    """
+
+    selective_logging: bool = True
+    op_restructure: bool = True
+    abort_pushdown: bool = True
+    opt_task_assign: bool = True
+    #: Chain-graph partitions per worker.  More partitions give the
+    #: optimized task assignment finer granularity to balance (at the
+    #: price of more cross-partition dependencies to log).
+    partitions_per_worker: int = 2
+
+
+class MorphStreamR(FTScheme):
+    """The paper's engine: views at runtime, dependency-free recovery."""
+
+    name = "MSR"
+
+    def __init__(
+        self,
+        workload,
+        *,
+        options: MSROptions = MSROptions(),
+        commit_every: int = 1,
+        controller: Optional[AdaptiveCommitController] = None,
+        **kwargs,
+    ):
+        super().__init__(workload, **kwargs)
+        if self.snapshot_interval % commit_every:
+            raise ConfigError(
+                "snapshot_interval must be a multiple of commit_every"
+            )
+        self.options = options
+        self.lm = LoggingManager(self.disk)
+        self.fm = FaultToleranceManager(
+            MarkerSchedule(
+                commit_every=commit_every,
+                snapshot_every=self.snapshot_interval,
+            ),
+            controller=controller,
+            base_epoch_len=self.epoch_len,
+        )
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+
+    def _on_epoch(self, ctx: EpochContext) -> None:
+        costs = self.costs
+        tpg, outcome = ctx.tpg, ctx.outcome
+
+        partition_map = None
+        if self.options.selective_logging:
+            graph = build_chain_graph(tpg)
+            partition_map = greedy_partition(graph, self._num_partitions())
+            self._charge_tracking(
+                [costs.partition_vertex] * len(graph.vertices)
+                + [costs.partition_edge] * len(graph.edges)
+            )
+
+        abort_view = AbortView(ctx.epoch_id, frozenset(outcome.aborted))
+        pview = ParametricView(ctx.epoch_id)
+        recorded = 0
+        for txn in ctx.txns:
+            validator_ref = txn.ops[0].ref
+            for ref, src in tpg.cond_sources.get(txn.txn_id, ()):
+                if src is None or self._intra(partition_map, ref, validator_ref):
+                    continue
+                pview.record(
+                    txn.txn_id,
+                    CONDITION_INDEX,
+                    ref,
+                    validator_ref,
+                    outcome.cond_values[txn.txn_id][ref],
+                )
+                recorded += 1
+            if txn.txn_id in outcome.aborted:
+                continue
+            for idx, op in enumerate(txn.ops):
+                reads = outcome.read_values[op.uid]
+                for (ref, src), value in zip(tpg.pd_sources[op.uid], reads):
+                    if src is None or self._intra(partition_map, ref, op.ref):
+                        continue
+                    pview.record(txn.txn_id, idx, ref, op.ref, value)
+                    recorded += 1
+        self._charge_tracking(
+            [costs.view_record] * (recorded + len(abort_view))
+        )
+
+        self.lm.stage(
+            ViewSegment(ctx.epoch_id, abort_view, pview, partition_map)
+        )
+        self._note_buffer(self.lm.buffered_bytes)
+        if COMMIT in self.fm.markers_at(ctx.epoch_id):
+            io_s, committed_bytes = self.lm.commit()
+            self._charge_runtime_io(io_s, committed_bytes)
+
+        if self.fm.controller is not None:
+            spans = sum(
+                1 for txn in ctx.txns if self.workload.spans_partitions(txn)
+            )
+            self.fm.observe(profile_epoch(tpg, outcome, spans))
+            self.epoch_len = self.fm.epoch_len
+
+    def _num_partitions(self) -> int:
+        return self.num_workers * self.options.partitions_per_worker
+
+    @staticmethod
+    def _intra(
+        partition_map: Optional[Dict[StateRef, int]],
+        from_ref: StateRef,
+        to_ref: StateRef,
+    ) -> bool:
+        """True when a dependency stays inside one partition (unlogged)."""
+        if partition_map is None:
+            return False
+        return partition_map.get(from_ref) == partition_map.get(to_ref)
+
+    def crash(self) -> None:
+        super().crash()
+        # Uncommitted view segments lived in volatile memory.
+        self.lm.drop_buffer()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _recover_epoch(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        store: StateStore,
+        epoch_id: int,
+        events: Sequence[Event],
+    ) -> List[Tuple[int, tuple]]:
+        costs = self.costs
+        opts = self.options
+        if not self.lm.has_epoch(epoch_id):
+            # Views lost with the crash (long commit interval): this
+            # epoch recovers by plain reprocessing, like CKPT.
+            return self._compute_epoch(machine, executor, store, events)[3]
+
+        segment, io_s = self.lm.load_epoch(epoch_id)
+        machine.spend_all(buckets.RELOAD, io_s)
+        index_entries = len(segment.parametric_view) + len(segment.abort_view)
+        if segment.partition_map is not None:
+            # The logged chain-partition map is part of the intermediate
+            # results and must be indexed too — the "more overhead in
+            # indexing intermediate results" of §VI-B.
+            index_entries += len(segment.partition_map)
+        machine.spend_parallel(
+            buckets.CONSTRUCT,
+            (costs.view_index_entry for _ in range(index_entries)),
+        )
+
+        if not opts.op_restructure:
+            return self._recover_simple(machine, executor, store, events, segment)
+        return self._recover_restructured(machine, executor, store, events, segment)
+
+    def _recover_simple(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        store: StateStore,
+        events: Sequence[Event],
+        segment: ViewSegment,
+    ) -> List[Tuple[int, tuple]]:
+        """The "Simple" baseline of Fig. 11d: full pipeline replay.
+
+        Abort pushdown may still apply (it only needs the AbortView),
+        which is the "+AbortPD without restructuring" ablation point.
+        """
+        if not self.options.abort_pushdown:
+            return self._compute_epoch(machine, executor, store, events)[3]
+        surviving, _discarded = push_down_aborts(events, segment.abort_view)
+        machine.spend_parallel(
+            buckets.ABORT, (self.costs.view_lookup for _ in events)
+        )
+        return self._compute_epoch(
+            machine, executor, store, surviving, charge_aborts=False
+        )[3]
+
+    def _recover_restructured(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        store: StateStore,
+        events: Sequence[Event],
+        segment: ViewSegment,
+    ) -> List[Tuple[int, tuple]]:
+        costs = self.costs
+        opts = self.options
+
+        # (⑤) abort handling: either push doomed events down before
+        # preprocessing, or pay classic per-transaction abort handling.
+        surviving, discarded = push_down_aborts(events, segment.abort_view)
+        if opts.abort_pushdown:
+            machine.spend_parallel(
+                buckets.ABORT, (costs.view_lookup for _ in events)
+            )
+        else:
+            self._charge_classic_aborts(machine, discarded)
+
+        # (⑥) restructuring: preprocess survivors, rebuild chains,
+        # classify reads against the *logged* partition map.
+        txns = preprocess(surviving, self.workload, 0)
+        machine.spend_parallel(
+            buckets.EXECUTE, (costs.preprocess_event for _ in surviving)
+        )
+        restructured = restructure_operations(txns, segment.partition_map)
+        machine.spend_parallel(
+            buckets.CONSTRUCT,
+            (costs.construct_node for _ in restructured.tpg.ops),
+        )
+        if not opts.abort_pushdown:
+            self._charge_committed_condition_checks(machine, txns)
+
+        # (⑦) task assignment over partition bundles.
+        bundles = chains_by_partition(
+            restructured, segment.partition_map, self._num_partitions()
+        )
+        weights = [
+            float(sum(len(chain) for chain in bundle)) for bundle in bundles
+        ]
+        if opts.opt_task_assign:
+            assignment, _loads = lpt_assign(weights, self.num_workers)
+        else:
+            assignment, _loads = round_robin_assign(weights, self.num_workers)
+        machine.spend_parallel(
+            buckets.CONSTRUCT, (costs.task_dispatch for _ in bundles)
+        )
+
+        op_values = self._execute_restructured(
+            machine, executor, store, restructured, segment, bundles, assignment
+        )
+        machine.spend_parallel(
+            buckets.EXECUTE, (costs.postprocess_event for _ in surviving)
+        )
+        return [
+            (txn.event.seq, self.workload.output_for(txn, True, op_values))
+            for txn in txns
+        ]
+
+    def _charge_classic_aborts(
+        self, machine: Machine, discarded: Sequence[Event]
+    ) -> None:
+        """Cost of handling aborts without pushdown (ablation mode).
+
+        Each doomed event is still preprocessed, its conditions resolved
+        (through the views) and checked, its operations visited, and the
+        transaction rolled back.
+        """
+        costs = self.costs
+        items = []
+        for event in discarded:
+            txn = self.workload.build_transaction(event, 0)
+            cond_refs = sum(len(c.refs) for c in txn.conditions)
+            items.append(
+                costs.preprocess_event
+                + cond_refs * costs.view_lookup
+                + len(txn.conditions) * costs.condition_check
+                + len(txn.ops) * costs.state_access
+                + costs.abort_transaction
+            )
+        machine.spend_parallel(buckets.ABORT, items)
+
+    def _charge_committed_condition_checks(
+        self, machine: Machine, txns: Sequence[Transaction]
+    ) -> None:
+        """Without pushdown, surviving transactions also re-verify."""
+        costs = self.costs
+        items = []
+        for txn in txns:
+            if not txn.conditions:
+                continue
+            cond_refs = sum(len(c.refs) for c in txn.conditions)
+            items.append(
+                cond_refs * costs.view_lookup
+                + len(txn.conditions) * costs.condition_check
+            )
+        machine.spend_parallel(buckets.ABORT, items)
+
+    def _execute_restructured(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        store: StateStore,
+        restructured: RestructuredEpoch,
+        segment: ViewSegment,
+        bundles,
+        assignment: Sequence[int],
+    ) -> Dict[int, float]:
+        """Run shadow exploration per bundle; compute and apply values.
+
+        Semantics: every operation's own input carries along its chain
+        (the store is read only for epoch-base values and written only
+        at chain tails); cross-key reads resolve per their
+        classification.  Timing: one task per operation, pinned to its
+        bundle's worker in exploration order, with zero cross-worker
+        dependencies — the lock-contention-free execution the paper's
+        restructuring buys.
+        """
+        costs = self.costs
+        tpg = restructured.tpg
+        value_after: Dict[int, float] = {}
+        op_values: Dict[int, float] = {}
+        chain_cursor: Dict[StateRef, float] = {}
+        tasks: List[SimTask] = []
+
+        for bundle_index, bundle in enumerate(bundles):
+            worker = assignment[bundle_index]
+            local_deps = {
+                op.uid: restructured.local_deps[op.uid]
+                for chain in bundle
+                for op in chain
+                if op.uid in restructured.local_deps
+            }
+            exploration = explore_chains(bundle, local_deps)
+            for op in exploration.order:
+                own = chain_cursor.get(op.ref)
+                if own is None:
+                    own = store.get(op.ref)
+                reads: List[float] = []
+                view_lookups = 0
+                for resolution in restructured.resolutions[op.uid]:
+                    if resolution.read_class is ReadClass.BASE:
+                        reads.append(store.get(resolution.ref))
+                    elif resolution.read_class is ReadClass.VIEW:
+                        txn = tpg.txn_by_id[op.txn_id]
+                        op_index = txn.ops.index(op)
+                        reads.append(
+                            segment.parametric_view.lookup(
+                                op.txn_id, op_index, resolution.ref
+                            )
+                        )
+                        view_lookups += 1
+                    else:
+                        reads.append(value_after[resolution.source_uid])
+                value = apply_state_function(op.func, own, reads, op.params)
+                value_after[op.uid] = value
+                op_values[op.uid] = value
+                chain_cursor[op.ref] = value
+
+                explore_seconds = (
+                    view_lookups * costs.view_lookup
+                    + exploration.shadows_passed.get(op.uid, 0)
+                    * costs.shadow_visit
+                    + exploration.switches_for.get(op.uid, 0)
+                    * costs.chain_switch
+                )
+                extra = (
+                    ((buckets.EXPLORE, explore_seconds),)
+                    if explore_seconds
+                    else ()
+                )
+                tasks.append(
+                    SimTask(
+                        uid=op.uid,
+                        worker=worker,
+                        cost=costs.state_access * (1 + len(op.reads))
+                        + costs.udf,
+                        bucket=buckets.EXECUTE,
+                        extra=extra,
+                    )
+                )
+
+        executor.run(tasks)
+        for ref, value in chain_cursor.items():
+            store.set(ref, value)
+        return op_values

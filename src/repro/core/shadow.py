@@ -1,0 +1,144 @@
+"""Shadow-based exploration (§VI-A2).
+
+Selective logging leaves *intra*-partition dependencies unlogged, so a
+recovering worker must still resolve them — but entirely locally, with
+no lock contention.  The mechanism is the paper's shadow operations:
+
+- every unlogged dependency of operation ``O`` inserts a *shadow* of
+  ``O`` right after the operation it depends on, in that operation's
+  chain;
+- each operation carries a count of its unresolved dependencies;
+- when a worker executes an operation it "passes" the shadows sitting
+  behind it, decrementing each dependent's count (Fig. 8 step ②);
+- when the head of the current chain still has unresolved
+  dependencies, the worker *switches* to the chain containing the first
+  unexecuted dependency and processes it until the dependency resolves
+  (Fig. 8 step ④).
+
+Shadows are placeholders only — they never introduce new dependencies —
+so the traversal is guaranteed to terminate: every switch target's head
+operation has a strictly smaller timestamp than the blocked operation,
+and the minimum-timestamp unexecuted operation is always executable.
+
+:func:`explore_chains` runs the real traversal and returns the exact
+execution order plus per-operation accounting (shadow passes, chain
+switches) that the cost model charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.operations import Operation
+from repro.errors import SchedulingError
+
+
+@dataclass
+class ExplorationResult:
+    """Execution order and accounting of one partition's exploration."""
+
+    order: List[Operation] = field(default_factory=list)
+    #: op uid -> number of shadow operations passed when it executed
+    #: (i.e. dependents it notified).
+    shadows_passed: Dict[int, int] = field(default_factory=dict)
+    #: op uid -> chain switches triggered while unblocking this op.
+    switches_for: Dict[int, int] = field(default_factory=dict)
+    total_shadow_visits: int = 0
+    total_chain_switches: int = 0
+
+
+def explore_chains(
+    chains: Sequence[Sequence[Operation]],
+    local_deps: Dict[int, Tuple[int, ...]],
+) -> ExplorationResult:
+    """Traverse one partition's chains, resolving local deps via shadows.
+
+    ``chains`` are timestamp-sorted operation chains of one partition;
+    ``local_deps[uid]`` lists uids of *intra-partition* operations that
+    must execute before ``uid`` (its shadow sources).  Every listed
+    dependency must belong to one of the chains.  Returns the execution
+    order (a valid topological order: tests assert it) and the shadow /
+    switch counts.
+    """
+    result = ExplorationResult()
+    if not chains:
+        return result
+
+    chain_of: Dict[int, int] = {}
+    for ci, chain in enumerate(chains):
+        for op in chain:
+            if op.uid in chain_of:
+                raise SchedulingError(f"operation {op.uid} appears twice")
+            chain_of[op.uid] = ci
+
+    # Shadow placement: dependents[src] are the operations whose shadow
+    # sits behind src in src's chain.
+    dependents: Dict[int, List[int]] = {}
+    pending: Dict[int, int] = {}
+    for uid, deps in local_deps.items():
+        if uid not in chain_of:
+            continue
+        count = 0
+        for src in deps:
+            if src not in chain_of:
+                raise SchedulingError(
+                    f"operation {uid} has local dependency {src} outside "
+                    "this partition"
+                )
+            dependents.setdefault(src, []).append(uid)
+            count += 1
+        if count:
+            pending[uid] = count
+
+    executed: set = set()
+    pointer = [0] * len(chains)
+    order = result.order
+
+    def execute_head(ci: int) -> None:
+        op = chains[ci][pointer[ci]]
+        pointer[ci] += 1
+        executed.add(op.uid)
+        order.append(op)
+        passed = 0
+        for dependent in dependents.get(op.uid, ()):
+            pending[dependent] -= 1
+            passed += 1
+        result.shadows_passed[op.uid] = passed
+        result.total_shadow_visits += passed
+
+    for start in range(len(chains)):
+        if pointer[start] >= len(chains[start]):
+            continue
+        stack = [start]
+        while stack:
+            ci = stack[-1]
+            if pointer[ci] >= len(chains[ci]):
+                stack.pop()
+                continue
+            head = chains[ci][pointer[ci]]
+            if pending.get(head.uid, 0) == 0:
+                execute_head(ci)
+                continue
+            blocker = next(
+                src
+                for src in local_deps[head.uid]
+                if src not in executed
+            )
+            target = chain_of[blocker]
+            if target == ci:  # pragma: no cover - impossible by model
+                raise SchedulingError(
+                    f"operation {head.uid} blocked on {blocker} in its own chain"
+                )
+            result.switches_for[head.uid] = (
+                result.switches_for.get(head.uid, 0) + 1
+            )
+            result.total_chain_switches += 1
+            stack.append(target)
+
+    executed_total = sum(len(c) for c in chains)
+    if len(order) != executed_total:
+        raise SchedulingError(
+            f"exploration executed {len(order)} of {executed_total} operations"
+        )
+    return result

@@ -1,0 +1,31 @@
+"""MorphStream substrate: the host TSPE the paper builds on.
+
+This package implements the transactional stream processing model of
+§II — shared mutable state tables, state access operations, state
+transactions with temporal/logical/parametric dependencies, the
+three-step programming model (preprocessing → state access →
+postprocessing) — plus the task precedence graph (TPG) and the
+dual-phase execution pipeline of MorphStream that every fault-tolerance
+scheme in :mod:`repro.ft` and :mod:`repro.core` runs on.
+"""
+
+from repro.engine.events import Event
+from repro.engine.operations import Condition, Operation
+from repro.engine.refs import StateRef
+from repro.engine.serial import SerialOutcome, execute_serial
+from repro.engine.state import StateStore
+from repro.engine.tpg import TaskPrecedenceGraph, build_tpg
+from repro.engine.transactions import Transaction
+
+__all__ = [
+    "Event",
+    "StateRef",
+    "Operation",
+    "Condition",
+    "Transaction",
+    "StateStore",
+    "SerialOutcome",
+    "execute_serial",
+    "TaskPrecedenceGraph",
+    "build_tpg",
+]

@@ -1,0 +1,34 @@
+"""Input events.
+
+An event is the unit of the delivery guarantee: it must affect state
+exactly once and produce exactly one output (§II-C).  ``seq`` is the
+global arrival sequence number and doubles as the timestamp of the
+state transaction the event triggers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Event:
+    """One input event: ``(seq, kind, payload)``.
+
+    ``kind`` selects the transaction template in the workload (e.g.
+    ``"transfer"`` vs ``"deposit"`` in Streaming Ledger); ``payload``
+    carries the template's parameters and must be codec-serializable.
+    """
+
+    seq: int
+    kind: str
+    payload: Tuple = ()
+
+    def encoded(self) -> tuple:
+        return (self.seq, self.kind, self.payload)
+
+    @staticmethod
+    def from_encoded(raw: tuple) -> "Event":
+        seq, kind, payload = raw
+        return Event(seq, kind, tuple(payload))

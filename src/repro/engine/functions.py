@@ -1,0 +1,196 @@
+"""Registry of deterministic state functions and abort conditions.
+
+The TSP model (§II-A, Def. 1) writes ``W_t(k, v)`` with
+``v = f(k_1, ..., k_n)`` for a *user-defined function* ``f``.  To make
+transactions replayable from command logs, ``f`` must be named and
+deterministic; this module is the name → function registry.
+
+Two kinds of callables are registered:
+
+- **state functions** ``f(own, reads, params) -> float`` where ``own``
+  is the current value of the written key, ``reads`` are the resolved
+  values of ``op.reads`` in order, and ``params`` are the event's
+  immutable parameters;
+- **conditions** ``c(values, params) -> bool`` evaluated against the
+  resolved values of the condition's refs; any ``False`` aborts the
+  whole transaction (the logical-dependency semantics of §II-A).
+
+Workloads may register additional functions; names already taken raise
+:class:`~repro.errors.ConfigError` to keep replay unambiguous.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.errors import ConfigError, TransactionError
+
+StateFn = Callable[[float, Sequence[float], Tuple], float]
+ConditionFn = Callable[[Sequence[float], Tuple], bool]
+
+_STATE_FUNCTIONS: Dict[str, StateFn] = {}
+_CONDITIONS: Dict[str, ConditionFn] = {}
+
+
+def register_state_function(name: str, fn: StateFn) -> None:
+    """Register a named deterministic state function."""
+    if name in _STATE_FUNCTIONS:
+        raise ConfigError(f"state function {name!r} already registered")
+    _STATE_FUNCTIONS[name] = fn
+
+
+def register_condition(name: str, fn: ConditionFn) -> None:
+    """Register a named deterministic abort condition."""
+    if name in _CONDITIONS:
+        raise ConfigError(f"condition {name!r} already registered")
+    _CONDITIONS[name] = fn
+
+
+def state_function(name: str) -> StateFn:
+    try:
+        return _STATE_FUNCTIONS[name]
+    except KeyError:
+        raise TransactionError(f"unknown state function {name!r}") from None
+
+
+def condition_function(name: str) -> ConditionFn:
+    try:
+        return _CONDITIONS[name]
+    except KeyError:
+        raise TransactionError(f"unknown condition {name!r}") from None
+
+
+def apply_state_function(
+    name: str, own: float, reads: Sequence[float], params: Tuple
+) -> float:
+    """Evaluate a registered state function."""
+    return state_function(name)(own, reads, params)
+
+
+def evaluate_condition(name: str, values: Sequence[float], params: Tuple) -> bool:
+    """Evaluate a registered condition."""
+    return condition_function(name)(values, params)
+
+
+# --------------------------------------------------------------------------
+# Built-in functions used by the paper's three benchmark applications.
+# --------------------------------------------------------------------------
+
+def _deposit(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """SL deposit: add ``params[0]`` to the account/asset balance."""
+    return own + params[0]
+
+
+def _debit(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """SL transfer source: subtract the transferred amount."""
+    return own - params[0]
+
+
+def _credit(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """SL transfer destination: add the transferred amount."""
+    return own + params[0]
+
+
+def _credit_from(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """SL transfer destination reading the source record (Fig. 3, f3).
+
+    The credited amount is capped by the source's pre-transaction
+    balance — the parametric dependency on the debited state.  With the
+    sufficient-balance condition holding, the cap never binds, so the
+    transfer stays symmetric with the debit side.
+    """
+    return own + min(params[0], reads[0])
+
+
+def _write_sum(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """GS sum: write the summation of the read list (plus own) back."""
+    return own + sum(reads)
+
+
+def _grep_sum(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """Numerically stable GS summation.
+
+    The literal ``own + sum(reads)`` diverges to infinity over long
+    skewed streams, which would mask state-equality bugs in tests.
+    This variant writes a *scaled* summation plus the event's own
+    contribution (``params[0]``): still "read a list, write a summation
+    result back to the first state", but contractive so values stay
+    finite and distinguishable.
+    """
+    scale = 0.5 / (len(reads) + 1) if reads else 0.5
+    return own * 0.5 + sum(reads) * scale + params[0]
+
+
+def _scale_add(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """Generic ``own * params[0] + params[1]`` update."""
+    return own * params[0] + params[1]
+
+
+def _ewma(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """TP road speed: exponentially weighted moving average.
+
+    ``params = (reported_speed, alpha)``.
+    """
+    speed, alpha = params
+    return own * (1.0 - alpha) + speed * alpha
+
+
+def _increment(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """TP vehicle count: bump by one."""
+    return own + 1.0
+
+
+def _set_value(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """Blind write of ``params[0]``."""
+    return float(params[0])
+
+
+def _identity(own: float, reads: Sequence[float], params: Tuple) -> float:
+    """Pure read: the record's value, unchanged (Def. 1's ``R_t(k)``).
+
+    A read is modeled as a write of the unchanged value, so it takes a
+    position in the record's chain (it must observe the value at its
+    timestamp) while leaving the state untouched.
+    """
+    return own
+
+
+def _cond_ge(values: Sequence[float], params: Tuple) -> bool:
+    """values[0] >= params[0] — e.g. sufficient balance."""
+    return values[0] >= params[0]
+
+
+def _cond_gt(values: Sequence[float], params: Tuple) -> bool:
+    return values[0] > params[0]
+
+
+def _cond_lt(values: Sequence[float], params: Tuple) -> bool:
+    return values[0] < params[0]
+
+
+def _cond_always(values: Sequence[float], params: Tuple) -> bool:
+    return True
+
+
+def _cond_never(values: Sequence[float], params: Tuple) -> bool:
+    """Deterministic forced abort (workload-controlled abort ratio)."""
+    return False
+
+
+register_state_function("deposit", _deposit)
+register_state_function("debit", _debit)
+register_state_function("credit", _credit)
+register_state_function("credit_from", _credit_from)
+register_state_function("write_sum", _write_sum)
+register_state_function("grep_sum", _grep_sum)
+register_state_function("scale_add", _scale_add)
+register_state_function("ewma", _ewma)
+register_state_function("increment", _increment)
+register_state_function("set_value", _set_value)
+register_state_function("identity", _identity)
+
+register_condition("ge", _cond_ge)
+register_condition("gt", _cond_gt)
+register_condition("lt", _cond_lt)
+register_condition("always", _cond_always)
+register_condition("never", _cond_never)

@@ -1,0 +1,30 @@
+"""References to shared mutable state records.
+
+A :class:`StateRef` names one record: ``(table, key)``.  It is the unit
+of temporal dependencies (two operations conflict iff they target the
+same ref) and the vertex key for operation chains.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+Key = Union[int, str]
+
+
+class StateRef(NamedTuple):
+    """Immutable (table, key) address of one shared state record."""
+
+    table: str
+    key: Key
+
+    def encoded(self) -> tuple:
+        """Codec-friendly representation (plain tuple)."""
+        return (self.table, self.key)
+
+    @staticmethod
+    def from_encoded(raw: tuple) -> "StateRef":
+        return StateRef(raw[0], raw[1])
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.table}[{self.key}]"

@@ -1,0 +1,89 @@
+"""Serial ground-truth executor.
+
+Executes a batch of state transactions strictly in timestamp order with
+the TSP semantics of §II-A: all reads of a transaction observe the
+state after every earlier transaction and before the transaction's own
+writes; a transaction whose conditions fail aborts atomically.
+
+Every parallel scheme in this repository must produce a final state
+identical to this executor's — that is the conflict-equivalence
+correctness criterion, and the property tests enforce it.
+
+Besides the final state, the outcome captures exactly the artifacts the
+fault-tolerance schemes need to log:
+
+- ``aborted``: transaction ids whose conditions failed (the content of
+  MorphStreamR's AbortView);
+- ``op_values``: per-operation written value;
+- ``read_values``: per-operation resolved values of its cross-key reads
+  (the content of the ParametricView);
+- ``cond_values``: per-transaction resolved condition-ref values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.engine.functions import apply_state_function, evaluate_condition
+from repro.engine.refs import StateRef
+from repro.engine.state import StateStore
+from repro.engine.transactions import Transaction
+
+
+@dataclass
+class SerialOutcome:
+    """Everything observable about one serially executed batch."""
+
+    aborted: Set[int] = field(default_factory=set)
+    #: op uid -> value written (committed ops only).
+    op_values: Dict[int, float] = field(default_factory=dict)
+    #: op uid -> tuple of resolved values for ``op.reads`` (all ops).
+    read_values: Dict[int, Tuple[float, ...]] = field(default_factory=dict)
+    #: txn id -> {ref: resolved value} for condition refs.
+    cond_values: Dict[int, Dict[StateRef, float]] = field(default_factory=dict)
+    #: (event seq, committed flag) in timestamp order.
+    decisions: List[Tuple[int, bool]] = field(default_factory=list)
+
+
+def execute_serial(store: StateStore, txns: Sequence[Transaction]) -> SerialOutcome:
+    """Execute ``txns`` in timestamp order, mutating ``store``.
+
+    ``txns`` may be supplied in any order; they are sorted by timestamp
+    first.  Returns the :class:`SerialOutcome` ground truth.
+    """
+    outcome = SerialOutcome()
+    for txn in sorted(txns, key=lambda t: t.ts):
+        # Resolve every value the transaction may read, against the
+        # pre-transaction state (snapshot semantics).
+        cond_refs: Dict[StateRef, float] = {}
+        for cond in txn.conditions:
+            for ref in cond.refs:
+                if ref not in cond_refs:
+                    cond_refs[ref] = store.get(ref)
+        outcome.cond_values[txn.txn_id] = cond_refs
+
+        committed = all(
+            evaluate_condition(
+                cond.func, [cond_refs[r] for r in cond.refs], cond.params
+            )
+            for cond in txn.conditions
+        )
+
+        writes: List[Tuple[StateRef, float]] = []
+        for op in txn.ops:
+            reads = tuple(store.get(ref) for ref in op.reads)
+            outcome.read_values[op.uid] = reads
+            if committed:
+                own = store.get(op.ref)
+                value = apply_state_function(op.func, own, reads, op.params)
+                outcome.op_values[op.uid] = value
+                writes.append((op.ref, value))
+
+        if committed:
+            for ref, value in writes:
+                store.set(ref, value)
+        else:
+            outcome.aborted.add(txn.txn_id)
+        outcome.decisions.append((txn.event.seq, committed))
+    return outcome

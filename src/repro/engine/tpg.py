@@ -1,0 +1,136 @@
+"""Task precedence graph (TPG) construction.
+
+MorphStream's TxnManager turns a batch of state transactions into a
+graph whose vertices are state access operations and whose edges are
+the fine-grained dependencies of §II-A:
+
+- **TD** (temporal): previous operation writing the same record;
+- **PD** (parametric): for every cross-key read (operation read sets and
+  condition refs), the most recent earlier-timestamp writer of that
+  record inside the batch — or the base state if none;
+- **LD** (logical): every non-validator operation depends on its
+  transaction's condition-variable-check (first operation).
+
+Timestamp order is a topological order of this graph (all edges point
+from smaller to strictly smaller-or-equal-txn sources), which the
+executors rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.operations import Operation
+from repro.engine.refs import StateRef
+from repro.engine.transactions import Transaction
+
+#: (ref, source op uid or None): where a read's value comes from.
+ReadSource = Tuple[StateRef, Optional[int]]
+
+
+@dataclass
+class TaskPrecedenceGraph:
+    """The dependency structure of one batch of transactions."""
+
+    txns: Tuple[Transaction, ...]
+    #: All operations in timestamp (and hence topological) order.
+    ops: Tuple[Operation, ...] = ()
+    #: Per-record operation chains, timestamp-sorted.
+    chains: Dict[StateRef, List[Operation]] = field(default_factory=dict)
+    #: op uid -> uid of the previous writer of the same record (TD).
+    td_prev: Dict[int, int] = field(default_factory=dict)
+    #: op uid -> read sources for ``op.reads`` in order (PD).
+    pd_sources: Dict[int, Tuple[ReadSource, ...]] = field(default_factory=dict)
+    #: txn id -> read sources for the union of condition refs (PD).
+    cond_sources: Dict[int, Tuple[ReadSource, ...]] = field(default_factory=dict)
+    #: txn id -> uid of the condition-variable-check operation (LD hub).
+    validator_uid: Dict[int, int] = field(default_factory=dict)
+    op_by_uid: Dict[int, Operation] = field(default_factory=dict)
+    txn_by_id: Dict[int, Transaction] = field(default_factory=dict)
+
+    def dependencies(self, op: Operation) -> List[int]:
+        """All dependency uids of ``op`` (TD + PD + LD), deduplicated."""
+        deps: List[int] = []
+        prev = self.td_prev.get(op.uid)
+        if prev is not None:
+            deps.append(prev)
+        for _ref, src in self.pd_sources.get(op.uid, ()):
+            if src is not None:
+                deps.append(src)
+        validator = self.validator_uid[op.txn_id]
+        if op.uid == validator:
+            for _ref, src in self.cond_sources.get(op.txn_id, ()):
+                if src is not None:
+                    deps.append(src)
+        else:
+            deps.append(validator)
+        # Deduplicate while preserving order.
+        seen: set = set()
+        unique = []
+        for uid in deps:
+            if uid not in seen and uid != op.uid:
+                seen.add(uid)
+                unique.append(uid)
+        return unique
+
+    def edge_counts(self) -> Dict[str, int]:
+        """Number of TD / PD / LD edges — sizing for logs and costs."""
+        td = len(self.td_prev)
+        pd = sum(
+            1
+            for sources in self.pd_sources.values()
+            for _ref, src in sources
+            if src is not None
+        )
+        pd += sum(
+            1
+            for sources in self.cond_sources.values()
+            for _ref, src in sources
+            if src is not None
+        )
+        ld = sum(len(txn.ops) - 1 for txn in self.txns)
+        return {"td": td, "pd": pd, "ld": ld}
+
+
+def build_tpg(txns: Sequence[Transaction]) -> TaskPrecedenceGraph:
+    """Construct the TPG for ``txns`` (any order; sorted by timestamp)."""
+    ordered = tuple(sorted(txns, key=lambda t: t.ts))
+    tpg = TaskPrecedenceGraph(txns=ordered)
+    last_writer: Dict[StateRef, int] = {}
+    ops: List[Operation] = []
+
+    for txn in ordered:
+        tpg.txn_by_id[txn.txn_id] = txn
+        tpg.validator_uid[txn.txn_id] = txn.ops[0].uid
+
+        # Resolve sources against writers of strictly earlier
+        # transactions: the last_writer map is updated only after the
+        # whole transaction is processed (snapshot read semantics).
+        cond_refs: List[StateRef] = []
+        seen_cond: set = set()
+        for cond in txn.conditions:
+            for ref in cond.refs:
+                if ref not in seen_cond:
+                    seen_cond.add(ref)
+                    cond_refs.append(ref)
+        tpg.cond_sources[txn.txn_id] = tuple(
+            (ref, last_writer.get(ref)) for ref in cond_refs
+        )
+
+        for op in txn.ops:
+            ops.append(op)
+            tpg.op_by_uid[op.uid] = op
+            tpg.pd_sources[op.uid] = tuple(
+                (ref, last_writer.get(ref)) for ref in op.reads
+            )
+            prev = last_writer.get(op.ref)
+            if prev is not None:
+                tpg.td_prev[op.uid] = prev
+            tpg.chains.setdefault(op.ref, []).append(op)
+
+        for op in txn.ops:
+            last_writer[op.ref] = op.uid
+
+    tpg.ops = tuple(ops)
+    return tpg

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the MorphStreamR reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one base type.  Specific subclasses mark the subsystem
+that failed, which keeps failure handling explicit at the harness level
+(e.g. a :class:`RecoveryError` aborts an experiment while a
+:class:`ConfigError` is a usage bug).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+class StorageError(ReproError):
+    """A simulated durable-storage operation failed or was misused."""
+
+
+class SchedulingError(ReproError):
+    """The parallel executor was given an inconsistent task graph."""
+
+
+class TransactionError(ReproError):
+    """A state transaction is malformed (e.g. duplicate write keys)."""
+
+
+class RecoveryError(ReproError):
+    """Failure recovery could not restore a consistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was asked for an impossible configuration."""

@@ -1,0 +1,46 @@
+"""Fault-tolerance schemes applied to the MorphStream substrate.
+
+Implements the five comparison points of §VIII-A:
+
+- :class:`~repro.ft.native.Native` (NAT) — no fault tolerance, the
+  runtime performance upper bound;
+- :class:`~repro.ft.checkpoint.GlobalCheckpoint` (CKPT) — periodic
+  global checkpoints + input replay;
+- :class:`~repro.ft.wal.WriteAheadLog` (WAL) — command logging with
+  sequential redo;
+- :class:`~repro.ft.dlog.DependencyLogging` (DL) — DistDGCC-style
+  fine-grained dependency-graph logging;
+- :class:`~repro.ft.lsnvector.LSNVector` (LV) — Taurus-style LSN-vector
+  logging.
+
+MorphStreamR itself lives in :mod:`repro.core` and shares the same
+:class:`~repro.ft.base.FTScheme` contract.
+"""
+
+from repro.ft.base import (
+    EpochContext,
+    EpochStats,
+    FTScheme,
+    OutputSink,
+    RecoveryReport,
+    RuntimeReport,
+)
+from repro.ft.checkpoint import GlobalCheckpoint
+from repro.ft.dlog import DependencyLogging
+from repro.ft.lsnvector import LSNVector
+from repro.ft.native import Native
+from repro.ft.wal import WriteAheadLog
+
+__all__ = [
+    "FTScheme",
+    "EpochContext",
+    "EpochStats",
+    "OutputSink",
+    "RuntimeReport",
+    "RecoveryReport",
+    "Native",
+    "GlobalCheckpoint",
+    "WriteAheadLog",
+    "DependencyLogging",
+    "LSNVector",
+]

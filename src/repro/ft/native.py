@@ -1,0 +1,40 @@
+"""NAT: native MorphStream, no fault tolerance.
+
+The runtime performance upper bound of §VIII-A.  Nothing is persisted,
+so a crash is unrecoverable — ``recover()`` raises.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.engine.events import Event
+from repro.engine.state import StateStore
+from repro.errors import RecoveryError
+from repro.ft.base import FTScheme
+from repro.sim.clock import Machine
+from repro.sim.executor import ParallelExecutor
+
+
+class Native(FTScheme):
+    """MorphStream without any fault-tolerance mechanism."""
+
+    name = "NAT"
+    persists_events = False
+    takes_snapshots = False
+
+    def recover(self):
+        raise RecoveryError(
+            "native MorphStream does not support fault tolerance; "
+            "state lost at the crash is unrecoverable"
+        )
+
+    def _recover_epoch(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        store: StateStore,
+        epoch_id: int,
+        events: Sequence[Event],
+    ) -> List[Tuple[int, tuple]]:  # pragma: no cover - unreachable
+        raise RecoveryError("native MorphStream cannot replay epochs")

@@ -1,0 +1,22 @@
+"""Experiment harness: crash-injection runner, verification, reporting.
+
+:mod:`repro.harness.runner` runs one (workload, scheme) experiment —
+runtime phase, crash, recovery — and verifies the recovered state and
+exactly-once outputs against the serial ground truth.
+:mod:`repro.harness.figures` defines every paper-figure experiment on
+top of it; :mod:`repro.harness.report` renders the printed tables.
+"""
+
+from repro.harness.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    ground_truth,
+    run_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "ground_truth",
+]

@@ -1,0 +1,120 @@
+"""Terminal plotting: ASCII line charts and bar charts.
+
+Benchmarks and the CLI print tables by default; these helpers add a
+visual rendering for sweeps (Figs. 9, 13, 14) and comparisons (Figs. 2,
+11, 12) without any plotting dependency.  Output is deterministic plain
+text, suitable for committing next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+#: Glyphs cycled across series in multi-series charts.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of labeled values, scaled to the maximum.
+
+    >>> print(bar_chart({"a": 2.0, "b": 1.0}, width=4))
+    a  ████  2
+    b  ██    1
+    """
+    if width < 1:
+        raise ConfigError("width must be >= 1")
+    if not values:
+        return "(no data)"
+    peak = max(values.values())
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = round(value / peak * width)
+        bar = "█" * filled + " " * (width - filled)
+        lines.append(
+            f"{label.rjust(label_width)}  {bar}  {_format_number(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series is a list of (x, y) points; every series gets one glyph
+    from :data:`SERIES_GLYPHS` and a legend line.  Points are plotted on
+    a ``width`` x ``height`` grid with linear scales spanning the data.
+    """
+    if width < 2 or height < 2:
+        raise ConfigError("width and height must be >= 2")
+    points = [
+        (x, y) for pts in series.values() for x, y in pts
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, pts) in enumerate(series.items()):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        legend.append(f"{glyph} {name}")
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][col] = glyph
+
+    top = _format_number(y_max)
+    bottom = _format_number(y_min)
+    gutter = max(len(top), len(bottom))
+    lines = []
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            margin = top.rjust(gutter)
+        elif row_index == height - 1:
+            margin = bottom.rjust(gutter)
+        else:
+            margin = " " * gutter
+        lines.append(f"{margin} |{''.join(row)}")
+    lines.append(f"{' ' * gutter} +{'-' * width}")
+    x_axis = (
+        f"{' ' * gutter}  {_format_number(x_min)}"
+        f"{' ' * max(1, width - len(_format_number(x_min)) - len(_format_number(x_max)))}"
+        f"{_format_number(x_max)}"
+    )
+    lines.append(x_axis)
+    if x_label or y_label:
+        lines.append(
+            f"{' ' * gutter}  x: {x_label or '-'}   y: {y_label or '-'}"
+        )
+    lines.append(f"{' ' * gutter}  {'   '.join(legend)}")
+    return "\n".join(lines)
+
+
+def _format_number(value: float) -> str:
+    """Compact numeric label: SI suffixes above 1000, trimmed decimals."""
+    magnitude = abs(value)
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if magnitude >= threshold:
+            return f"{value / threshold:.3g}{suffix}"
+    if magnitude >= 1 or value == 0:
+        return f"{value:.4g}"
+    return f"{value:.3g}"

@@ -1,0 +1,111 @@
+"""Sweep analysis: speedups, crossovers, scaling efficiency.
+
+Helpers the experiment layer uses to turn raw sweep series into the
+derived quantities EXPERIMENTS.md reports — "MSR is N× the sub-optimal
+scheme", "the crossover falls at ratio r", "scaling efficiency at 32
+cores".  Pure functions over ``(x, y)`` point lists; deterministic and
+unit-tested, so the derived claims are as reproducible as the raw data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError
+
+Points = Sequence[Tuple[float, float]]
+
+
+def speedup_vs_suboptimal(totals: Dict[str, float], best: str) -> float:
+    """``best``'s advantage over the best of the others.
+
+    ``totals`` maps scheme -> a *lower-is-better* metric (e.g. recovery
+    seconds).  Returns ``suboptimal / best`` — the paper's "reduces the
+    recovery time by N× compared with sub-optimal approaches".
+    """
+    if best not in totals:
+        raise ConfigError(f"unknown scheme {best!r}")
+    others = [v for name, v in totals.items() if name != best]
+    if not others:
+        raise ConfigError("need at least two schemes to compare")
+    if totals[best] <= 0:
+        raise ConfigError("metric must be positive")
+    return min(others) / totals[best]
+
+
+def crossover(a: Points, b: Points) -> Optional[float]:
+    """The x where series ``a`` overtakes series ``b`` (or vice versa).
+
+    Both series must share the same x grid.  Returns the linearly
+    interpolated x of the first sign change of ``a - b``, or ``None``
+    if one series dominates throughout.
+    """
+    if [x for x, _ in a] != [x for x, _ in b]:
+        raise ConfigError("series must share the same x grid")
+    if not a:
+        return None
+    diffs = [(x, ya - yb) for (x, ya), (_x, yb) in zip(a, b)]
+    for (x0, d0), (x1, d1) in zip(diffs, diffs[1:]):
+        if d0 == 0:
+            return x0
+        if (d0 < 0) != (d1 < 0):
+            # Linear interpolation of the zero crossing.
+            return x0 + (x1 - x0) * (abs(d0) / (abs(d0) + abs(d1)))
+    if diffs[-1][1] == 0:
+        return diffs[-1][0]
+    return None
+
+
+def scaling_efficiency(points: Points) -> float:
+    """Parallel efficiency at the largest core count.
+
+    ``points`` are (cores, throughput); efficiency is the achieved
+    speedup over the 1-point divided by the ideal (core ratio).
+    """
+    if len(points) < 2:
+        raise ConfigError("need at least two core counts")
+    ordered = sorted(points)
+    c0, t0 = ordered[0]
+    c1, t1 = ordered[-1]
+    if t0 <= 0 or c0 <= 0:
+        raise ConfigError("cores and throughput must be positive")
+    return (t1 / t0) / (c1 / c0)
+
+
+def monotonic_fraction(points: Points, increasing: bool = True) -> float:
+    """Fraction of consecutive steps moving in the claimed direction.
+
+    1.0 means strictly monotone; sweeps with measurement jitter report
+    slightly less.  Used to assert "X improves/degrades with Y" claims
+    without requiring perfect monotonicity.
+    """
+    if len(points) < 2:
+        raise ConfigError("need at least two points")
+    steps = list(zip(points, points[1:]))
+    good = sum(
+        1
+        for (_x0, y0), (_x1, y1) in steps
+        if (y1 >= y0) == increasing or y1 == y0
+    )
+    return good / len(steps)
+
+
+def relative_overhead(value: float, baseline: float) -> float:
+    """``value`` as a fractional overhead over ``baseline`` (0.2 = +20%)."""
+    if baseline <= 0:
+        raise ConfigError("baseline must be positive")
+    return value / baseline - 1.0
+
+
+def summarize_sweep(
+    results: Dict[str, Points]
+) -> List[Tuple[str, float, float, float]]:
+    """Per scheme: (name, min y, max y, last/first ratio) for a sweep."""
+    summary = []
+    for name, points in results.items():
+        if not points:
+            continue
+        ys = [y for _x, y in points]
+        first = ys[0] if ys[0] else float("nan")
+        summary.append((name, min(ys), max(ys), ys[-1] / first))
+    return summary

@@ -1,0 +1,23 @@
+"""Virtual-time multicore simulator.
+
+The paper measures wall-clock recovery time on a 36-core Xeon.  A pure
+Python reproduction cannot exhibit real multicore parallelism (the GIL
+serializes threads), so this package substitutes a *deterministic
+virtual-time model*: algorithms run for real, single-threaded, while the
+time a parallel machine would have taken is computed with per-worker
+virtual clocks and a calibrated cost model (see ``DESIGN.md`` §2).
+
+Public surface:
+
+- :class:`~repro.sim.costs.CostModel` — seconds-per-primitive constants.
+- :class:`~repro.sim.clock.Machine` / :class:`~repro.sim.clock.Core` —
+  the virtual multicore with per-bucket time accounting.
+- :class:`~repro.sim.executor.ParallelExecutor` — list-scheduling
+  simulation of a task DAG on the virtual machine.
+"""
+
+from repro.sim.clock import Core, Machine
+from repro.sim.costs import CostModel
+from repro.sim.executor import ParallelExecutor, SimTask
+
+__all__ = ["Core", "Machine", "CostModel", "ParallelExecutor", "SimTask"]

@@ -1,0 +1,136 @@
+"""Per-core virtual clocks with bucketed time accounting.
+
+A :class:`Machine` owns ``num_cores`` :class:`Core` objects.  Each core
+carries a monotonically increasing virtual clock (seconds) and an
+accounting dictionary mapping a *bucket* name (``"execute"``,
+``"construct"``, ``"wait"``, ...) to the seconds spent in it.  The paper's
+recovery-breakdown figure (Fig. 11) is produced directly from these
+buckets.
+
+The model is intentionally simple and fully deterministic:
+
+- ``core.spend(bucket, seconds)`` advances one core's clock.
+- ``machine.barrier(bucket)`` aligns every core to the maximum clock,
+  charging the idle gap of each core to ``bucket`` (``"wait"`` by
+  default) — this is how synchronization/straggler time appears.
+- ``machine.elapsed()`` is the makespan so far.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import ConfigError
+
+#: Bucket used for time a core spends blocked on other cores.
+WAIT = "wait"
+
+
+class Core:
+    """One simulated CPU core: a clock plus per-bucket accounting."""
+
+    __slots__ = ("core_id", "clock", "buckets")
+
+    def __init__(self, core_id: int):
+        self.core_id = core_id
+        self.clock = 0.0
+        self.buckets: Dict[str, float] = {}
+
+    def spend(self, bucket: str, seconds: float) -> float:
+        """Advance this core's clock by ``seconds``, charged to ``bucket``.
+
+        Returns the clock value after the advance.  Negative durations are
+        rejected — virtual time never flows backwards.
+        """
+        if seconds < 0:
+            raise ConfigError(
+                f"core {self.core_id}: negative duration {seconds!r} for "
+                f"bucket {bucket!r}"
+            )
+        self.clock += seconds
+        self.buckets[bucket] = self.buckets.get(bucket, 0.0) + seconds
+        return self.clock
+
+    def advance_to(self, target: float, bucket: str = WAIT) -> float:
+        """Move the clock forward to ``target`` (no-op if already past).
+
+        The idle gap is charged to ``bucket``.  Returns the new clock.
+        """
+        gap = target - self.clock
+        if gap > 0:
+            self.spend(bucket, gap)
+        return self.clock
+
+    def spent(self, bucket: str) -> float:
+        """Seconds this core has spent in ``bucket`` so far."""
+        return self.buckets.get(bucket, 0.0)
+
+
+class Machine:
+    """A bank of virtual cores advancing independently between barriers."""
+
+    def __init__(self, num_cores: int):
+        if num_cores < 1:
+            raise ConfigError(f"num_cores must be >= 1, got {num_cores}")
+        self.cores: List[Core] = [Core(i) for i in range(num_cores)]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    def elapsed(self) -> float:
+        """Makespan: the furthest-ahead core's clock."""
+        return max(core.clock for core in self.cores)
+
+    def barrier(self, bucket: str = WAIT, extra: float = 0.0) -> float:
+        """Synchronize all cores at ``max(clock) + extra`` seconds.
+
+        Each lagging core's gap is charged to ``bucket``; the ``extra``
+        cost (e.g. a group-commit handshake) is charged to the same bucket
+        on every core.  Returns the aligned clock value.
+        """
+        target = self.elapsed()
+        for core in self.cores:
+            core.advance_to(target, bucket)
+            if extra:
+                core.spend(bucket, extra)
+        return self.elapsed()
+
+    def spend_all(self, bucket: str, seconds: float) -> None:
+        """Charge ``seconds`` in ``bucket`` on every core simultaneously."""
+        for core in self.cores:
+            core.spend(bucket, seconds)
+
+    def spend_parallel(self, bucket: str, work_items: Iterable[float]) -> None:
+        """Distribute independent work items round-robin across cores.
+
+        ``work_items`` is an iterable of per-item durations.  Items are
+        dealt to cores in round-robin order, modelling an embarrassingly
+        parallel loop with static scheduling.  No barrier is taken.
+        """
+        for i, seconds in enumerate(work_items):
+            self.cores[i % self.num_cores].spend(bucket, seconds)
+
+    def bucket_totals(self) -> Dict[str, float]:
+        """Sum of every bucket across all cores (CPU-seconds)."""
+        totals: Dict[str, float] = {}
+        for core in self.cores:
+            for bucket, seconds in core.buckets.items():
+                totals[bucket] = totals.get(bucket, 0.0) + seconds
+        return totals
+
+    def bucket_breakdown(self) -> Dict[str, float]:
+        """Average per-core seconds for every bucket.
+
+        This is the quantity plotted in the paper's Fig. 11: per-bucket
+        contribution to the (wall-clock) recovery time, so the values of
+        all buckets sum to approximately ``elapsed()``.
+        """
+        totals = self.bucket_totals()
+        return {b: s / self.num_cores for b, s in totals.items()}
+
+    def reset(self) -> None:
+        """Zero all clocks and accounting (reuse between phases)."""
+        for core in self.cores:
+            core.clock = 0.0
+            core.buckets = {}

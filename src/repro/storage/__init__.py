@@ -1,0 +1,32 @@
+"""Simulated durable storage.
+
+The paper runs on a local Intel Optane SSD (2 GB/s write bandwidth,
+146k IOPS).  This package substitutes:
+
+- :mod:`repro.storage.codec` — a real tagged binary codec; everything
+  persisted (events, command logs, dependency records, views,
+  snapshots) is genuinely serialized to bytes and decoded again during
+  recovery, so durability is honest at the bit level.
+- :class:`~repro.storage.device.StorageDevice` — a bandwidth + IOPS +
+  latency performance model of the SSD; every flush/read is charged to
+  virtual time through it.
+- :mod:`repro.storage.stores` — crash-surviving stores (event store,
+  snapshot store, log store) layered on the codec and the device.
+"""
+
+from repro.storage.codec import decode, encode
+from repro.storage.device import DeviceStats, StorageDevice
+from repro.storage.filedisk import FileBackedDisk
+from repro.storage.stores import Disk, EventStore, LogStore, SnapshotStore
+
+__all__ = [
+    "encode",
+    "decode",
+    "StorageDevice",
+    "DeviceStats",
+    "Disk",
+    "FileBackedDisk",
+    "EventStore",
+    "SnapshotStore",
+    "LogStore",
+]

@@ -1,0 +1,41 @@
+"""Segment integrity: CRC32-framed durable blobs.
+
+A recovery path must never decode a torn or bit-flipped flush silently:
+every blob a store retains is framed with a CRC32 of its payload, and
+reads verify the frame before decoding.  A mismatch raises
+:class:`~repro.errors.StorageError` — recovery fails loudly instead of
+restoring corrupt state.
+"""
+
+from __future__ import annotations
+
+import struct
+from zlib import crc32
+
+from repro.errors import StorageError
+
+_HEADER = struct.Struct(">I")
+
+
+def protect(payload: bytes) -> bytes:
+    """Frame ``payload`` with its CRC32 checksum."""
+    return _HEADER.pack(crc32(payload)) + payload
+
+
+def verify(framed: bytes) -> bytes:
+    """Check the frame and return the payload.
+
+    Raises :class:`StorageError` on truncation or checksum mismatch.
+    """
+    if len(framed) < _HEADER.size:
+        raise StorageError("segment too short to carry a checksum frame")
+    (expected,) = _HEADER.unpack_from(framed)
+    payload = framed[_HEADER.size :]
+    actual = crc32(payload)
+    if actual != expected:
+        raise StorageError(
+            f"segment checksum mismatch: stored 0x{expected:08x}, "
+            f"computed 0x{actual:08x} — refusing to recover from "
+            "corrupt data"
+        )
+    return payload

@@ -1,0 +1,340 @@
+"""Crash-surviving stores layered on the codec and the device model.
+
+Three stores mirror what the paper persists (§VI-C):
+
+- :class:`EventStore` — every batch of input events, appended by the
+  spout before processing (step ① of Fig. 10), enabling replay from the
+  failure point.
+- :class:`SnapshotStore` — periodic state snapshots (global checkpoints).
+- :class:`LogStore` — scheme-specific log records (WAL commands, DL
+  dependency records, LV vectors, MorphStreamR views), group-committed
+  per epoch.
+
+All payloads pass through :mod:`repro.storage.codec`; a store holds only
+bytes, and readers decode.  A simulated crash destroys every in-memory
+component *except* these stores.  Each mutating/reading call returns the
+virtual seconds the device charged so callers can bill a core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.storage.codec import decode, encode
+from repro.storage.device import StorageDevice
+from repro.storage.integrity import protect, verify
+
+
+class EventStore:
+    """Durable input-event log: arrival-order ingress + epoch sealing.
+
+    The spout appends events the moment they arrive (§VI-C step ①), so
+    a crash never loses input — not even events still waiting for the
+    punctuation that would form their epoch.  When an epoch forms, its
+    events are *sealed*: a tiny boundary record marks which pending
+    events belong to it (no payload rewrite).
+
+    Recovery reads sealed epochs by id and can also fetch the pending
+    tail (arrived but never processed) to resume exactly where the
+    stream stopped.
+    """
+
+    def __init__(self, device: StorageDevice):
+        self._device = device
+        #: sealed epoch -> encoded event payloads, in arrival order.
+        self._epochs: Dict[int, List[Any]] = {}
+        #: arrived but not yet sealed into an epoch.
+        self._pending: List[Any] = []
+
+    def append_events(self, events: List[Any]) -> float:
+        """Ingress append: persist arriving events; returns I/O seconds."""
+        blob = encode(list(events))
+        self._pending.extend(events)
+        return self._device.write(len(blob))
+
+    def seal_epoch(self, epoch_id: int, count: int) -> float:
+        """Mark the next ``count`` pending events as epoch ``epoch_id``.
+
+        Writes only a boundary record; payloads were already durable at
+        arrival.  Returns I/O seconds.
+        """
+        if epoch_id in self._epochs:
+            raise StorageError(f"epoch {epoch_id} already sealed")
+        if count > len(self._pending):
+            raise StorageError(
+                f"cannot seal {count} events; only {len(self._pending)} pending"
+            )
+        self._epochs[epoch_id] = self._pending[:count]
+        self._pending = self._pending[count:]
+        boundary = encode((epoch_id, count))
+        return self._device.write(len(boundary))
+
+    def count_epoch(self, epoch_id: int) -> int:
+        """Number of events sealed into one epoch (boundary metadata —
+        no payload read is charged)."""
+        try:
+            return len(self._epochs[epoch_id])
+        except KeyError:
+            raise StorageError(f"no events sealed for epoch {epoch_id}") from None
+
+    def read_epochs(self, first_epoch: int, last_epoch: int) -> Tuple[List[Any], float]:
+        """Read back events of epochs ``first..last`` inclusive.
+
+        Returns ``(events, io_seconds)``.  Missing epochs are an error —
+        events are persisted before processing, so a gap means the store
+        was misused.
+        """
+        events: List[Any] = []
+        seconds = 0.0
+        for epoch_id in range(first_epoch, last_epoch + 1):
+            payloads = self._epochs.get(epoch_id)
+            if payloads is None:
+                raise StorageError(f"no events sealed for epoch {epoch_id}")
+            seconds += self._device.read(len(encode(payloads)))
+            events.extend(payloads)
+        return events, seconds
+
+    def read_pending(self) -> Tuple[List[Any], float]:
+        """Fetch the unsealed ingress tail; returns (events, io_seconds)."""
+        blob = encode(self._pending)
+        seconds = self._device.read(len(blob)) if self._pending else 0.0
+        return list(self._pending), seconds
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def last_sealed_epoch(self):
+        """Newest sealed epoch id, or ``None`` before the first seal."""
+        return max(self._epochs) if self._epochs else None
+
+    def truncate_before(self, epoch_id: int) -> int:
+        """Garbage-collect sealed epochs older than ``epoch_id``.
+
+        The pending tail is never reclaimed.  Returns bytes freed.
+        """
+        stale = [e for e in self._epochs if e < epoch_id]
+        freed = 0
+        for e in stale:
+            freed += len(encode(self._epochs.pop(e)))
+        return freed
+
+    @property
+    def bytes_stored(self) -> int:
+        sealed = sum(len(encode(p)) for p in self._epochs.values())
+        pending = len(encode(self._pending)) if self._pending else 0
+        return sealed + pending
+
+
+class SnapshotStore:
+    """Durable store of global state checkpoints keyed by epoch.
+
+    Two kinds of checkpoints can be persisted:
+
+    - **full** snapshots carry every table;
+    - **delta** snapshots carry only records written since the previous
+      checkpoint, chained to a base epoch.  Loading a delta epoch walks
+      the chain back to its full anchor and reapplies deltas in order —
+      the classic incremental-checkpointing trade: less runtime I/O for
+      a longer recovery reload.
+    """
+
+    _FULL = "full"
+    _DELTA = "delta"
+
+    def __init__(self, device: StorageDevice):
+        self._device = device
+        #: epoch -> (kind, framed blob, base epoch or None).
+        self._snapshots: Dict[int, Tuple[str, bytes, Optional[int]]] = {}
+
+    def put(self, epoch_id: int, state: Any) -> float:
+        """Persist a full snapshot taken at the end of ``epoch_id``."""
+        blob = protect(encode(state))
+        self._snapshots[epoch_id] = (self._FULL, blob, None)
+        return self._device.write(len(blob))
+
+    def put_delta(self, epoch_id: int, delta: Any, base_epoch: int) -> float:
+        """Persist a delta over the checkpoint at ``base_epoch``.
+
+        ``delta`` is a (table -> {key: value}) mapping of records
+        written since ``base_epoch``'s checkpoint.
+        """
+        if base_epoch not in self._snapshots:
+            raise StorageError(
+                f"delta base epoch {base_epoch} has no checkpoint"
+            )
+        if epoch_id <= base_epoch:
+            raise StorageError("delta must come after its base")
+        blob = protect(encode(delta))
+        self._snapshots[epoch_id] = (self._DELTA, blob, base_epoch)
+        return self._device.write(len(blob))
+
+    def latest_epoch(self) -> Optional[int]:
+        """Epoch of the most recent snapshot, or ``None`` if none exists."""
+        return max(self._snapshots) if self._snapshots else None
+
+    def is_delta(self, epoch_id: int) -> bool:
+        entry = self._snapshots.get(epoch_id)
+        return entry is not None and entry[0] == self._DELTA
+
+    def chain_base(self, epoch_id: int) -> int:
+        """The full-snapshot anchor of the chain ending at ``epoch_id``."""
+        entry = self._snapshots.get(epoch_id)
+        if entry is None:
+            raise StorageError(f"no snapshot for epoch {epoch_id}")
+        while entry[0] == self._DELTA:
+            epoch_id = entry[2]
+            entry = self._snapshots.get(epoch_id)
+            if entry is None:
+                raise StorageError(
+                    f"broken delta chain: base epoch {epoch_id} missing"
+                )
+        return epoch_id
+
+    def load(self, epoch_id: int) -> Tuple[Any, float]:
+        """Reconstruct the state checkpointed at ``epoch_id``.
+
+        Full snapshots decode directly; delta snapshots walk back to
+        their full anchor and reapply each delta, charging I/O for every
+        segment touched.  Returns ``(state, io_seconds)``.
+        """
+        chain: List[Tuple[str, bytes]] = []
+        cursor: Optional[int] = epoch_id
+        while cursor is not None:
+            entry = self._snapshots.get(cursor)
+            if entry is None:
+                raise StorageError(f"no snapshot for epoch {cursor}")
+            kind, blob, base = entry
+            chain.append((kind, blob))
+            if kind == self._FULL:
+                break
+            cursor = base
+        else:  # pragma: no cover - loop always breaks or raises
+            raise StorageError("unreachable")
+
+        seconds = 0.0
+        state: Any = None
+        for kind, blob in reversed(chain):
+            seconds += self._device.read(len(blob))
+            payload = decode(verify(blob))
+            if kind == self._FULL:
+                state = payload
+            else:
+                for table, records in payload.items():
+                    state.setdefault(table, {}).update(records)
+        return state, seconds
+
+    def truncate_before(self, epoch_id: int) -> int:
+        """Reclaim checkpoints older than ``epoch_id``.
+
+        Never breaks a delta chain: epochs that anchor a surviving delta
+        are kept even if older than the cutoff.
+        """
+        needed = set()
+        for epoch in self._snapshots:
+            if epoch >= epoch_id:
+                needed.add(self.chain_base(epoch))
+                cursor = epoch
+                while self._snapshots[cursor][0] == self._DELTA:
+                    cursor = self._snapshots[cursor][2]
+                    needed.add(cursor)
+        stale = [
+            e for e in self._snapshots if e < epoch_id and e not in needed
+        ]
+        freed = 0
+        for e in stale:
+            freed += len(self._snapshots.pop(e)[1])
+        return freed
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(len(blob) for _k, blob, _b in self._snapshots.values())
+
+
+class LogStore:
+    """Durable, epoch-segmented log of scheme-specific records.
+
+    A scheme may keep several named streams (e.g. MorphStreamR's
+    ``abort_view`` and ``parametric_view``); each ``(stream, epoch)``
+    pair is one group-committed segment.
+    """
+
+    def __init__(self, device: StorageDevice):
+        self._device = device
+        self._segments: Dict[Tuple[str, int], bytes] = {}
+
+    def commit_epoch(self, stream: str, epoch_id: int, records: Any) -> float:
+        """Group-commit ``records`` for ``epoch_id``; returns I/O seconds."""
+        key = (stream, epoch_id)
+        if key in self._segments:
+            raise StorageError(
+                f"log stream {stream!r} epoch {epoch_id} already committed"
+            )
+        blob = protect(encode(records))
+        self._segments[key] = blob
+        return self._device.write(len(blob))
+
+    def has_epoch(self, stream: str, epoch_id: int) -> bool:
+        return (stream, epoch_id) in self._segments
+
+    def read_epoch(self, stream: str, epoch_id: int) -> Tuple[Any, float]:
+        """Decode one committed segment; returns (records, io_seconds)."""
+        blob = self._segments.get((stream, epoch_id))
+        if blob is None:
+            raise StorageError(
+                f"log stream {stream!r} has no committed epoch {epoch_id}"
+            )
+        seconds = self._device.read(len(blob))
+        return decode(verify(blob)), seconds
+
+    def read_epochs(
+        self, stream: str, first_epoch: int, last_epoch: int
+    ) -> Tuple[List[Any], float]:
+        """Read and concatenate segments ``first..last`` that exist.
+
+        Epochs without a committed segment are skipped (a scheme with a
+        long commit interval legitimately has gaps).
+        """
+        out: List[Any] = []
+        seconds = 0.0
+        for epoch_id in range(first_epoch, last_epoch + 1):
+            if (stream, epoch_id) in self._segments:
+                records, io_s = self.read_epoch(stream, epoch_id)
+                seconds += io_s
+                out.append(records)
+        return out, seconds
+
+    def truncate_before(self, epoch_id: int) -> int:
+        stale = [key for key in self._segments if key[1] < epoch_id]
+        freed = 0
+        for key in stale:
+            freed += len(self._segments.pop(key))
+        return freed
+
+    def bytes_for_stream(self, stream: str) -> int:
+        return sum(
+            len(blob) for (s, _e), blob in self._segments.items() if s == stream
+        )
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(len(blob) for blob in self._segments.values())
+
+
+class Disk:
+    """Convenience bundle: one device shared by the three stores."""
+
+    def __init__(self, device: Optional[StorageDevice] = None):
+        self.device = device or StorageDevice()
+        self.events = EventStore(self.device)
+        self.snapshots = SnapshotStore(self.device)
+        self.logs = LogStore(self.device)
+
+    @property
+    def bytes_stored(self) -> int:
+        return (
+            self.events.bytes_stored
+            + self.snapshots.bytes_stored
+            + self.logs.bytes_stored
+        )

@@ -1,0 +1,37 @@
+"""Multi-operator streaming topologies with group-committed epochs.
+
+The paper's failure model spans a *topology* of operators: a state
+transaction triggered by one input event may flow through several
+stateful stages, and §III-B adapts the database-style logging schemes
+by "grouping all state transactions triggered by a single input event
+across the streaming topology and committing them together".
+
+This package implements that adaptation:
+
+- :class:`~repro.topology.stage.StageWorkload` — a transactional
+  operator: the usual workload contract plus ``emit_from_output``,
+  which deterministically derives the event forwarded downstream from
+  the operator's output (or filters it);
+- :class:`~repro.topology.engine.TopologyEngine` — a linear chain of
+  stages sharing one epoch clock: input events are persisted only at
+  the topology ingress, every stage applies its chosen fault-tolerance
+  scheme to its own state, epochs group-commit across all stages, and
+  recovery replays the chain — downstream inputs are *regenerated* from
+  upstream replay, never persisted twice.
+"""
+
+from repro.topology.engine import TopologyEngine, TopologyRecoveryReport, TopologyRuntimeReport
+from repro.topology.stage import StageWorkload
+from repro.topology.stages import FeeAccountingStage, LedgerStage
+from repro.topology.verify import topology_ground_truth, verify_topology
+
+__all__ = [
+    "TopologyEngine",
+    "TopologyRuntimeReport",
+    "TopologyRecoveryReport",
+    "StageWorkload",
+    "LedgerStage",
+    "FeeAccountingStage",
+    "topology_ground_truth",
+    "verify_topology",
+]

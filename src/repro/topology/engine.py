@@ -1,0 +1,264 @@
+"""Topology engine: chained operators, one epoch clock, group commit.
+
+The engine owns a linear chain of :class:`StageWorkload` operators,
+each protected by the *same* fault-tolerance scheme class applied to
+its own state (stage-local disk for snapshots and logs).  One shared
+virtual machine accumulates the time of all stages, and epochs are the
+group-commit unit across the whole chain (§III-B):
+
+- **runtime**: input events are persisted once, at the topology ingress
+  (the spout); each epoch flows through every stage in order, and each
+  stage's outputs deterministically generate the next stage's events;
+- **crash**: every stage loses its volatile state; only the ingress
+  store, the stage-local durable stores and the sinks survive;
+- **recovery**: stages restore their checkpoints (taken at the same
+  epoch boundaries, so they are mutually consistent), then each lost
+  epoch replays *through the chain* — the upstream stage's regenerated
+  outputs feed the downstream stage's replay, so downstream inputs are
+  never persisted and exactly-once holds end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro import buckets
+from repro.engine.events import Event
+from repro.engine.state import StateStore
+from repro.errors import ConfigError, RecoveryError
+from repro.ft.base import FTScheme
+from repro.sim.clock import Machine
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.executor import ParallelExecutor
+from repro.storage.stores import Disk
+from repro.topology.stage import StageWorkload
+
+
+@dataclass
+class TopologyRuntimeReport:
+    """Aggregate runtime metrics plus per-stage event counts."""
+
+    events_processed: int
+    epochs: int
+    elapsed_seconds: float
+    throughput_eps: float
+    buckets: Dict[str, float]
+    stage_event_counts: List[int]
+    bytes_durable: int
+
+
+@dataclass
+class TopologyRecoveryReport:
+    """Aggregate recovery metrics across the chain."""
+
+    events_replayed: int
+    epochs_replayed: int
+    elapsed_seconds: float
+    throughput_eps: float
+    buckets: Dict[str, float]
+
+
+class TopologyEngine:
+    """A linear chain of transactional operators under one FT scheme."""
+
+    def __init__(
+        self,
+        stages: Sequence[StageWorkload],
+        scheme_cls: Type[FTScheme],
+        *,
+        num_workers: int = 8,
+        epoch_len: int = 256,
+        snapshot_interval: int = 5,
+        costs: CostModel = DEFAULT_COSTS,
+        **scheme_kwargs,
+    ):
+        if not stages:
+            raise ConfigError("a topology needs at least one stage")
+        self.num_workers = num_workers
+        self.epoch_len = epoch_len
+        self.snapshot_interval = snapshot_interval
+        self.costs = costs
+        self.machine = Machine(num_workers)
+        #: topology-level ingress: the only place raw events persist.
+        self.ingress = Disk()
+        self.stages = list(stages)
+        self.schemes: List[FTScheme] = []
+        for stage in self.stages:
+            scheme = scheme_cls(
+                stage,
+                num_workers=num_workers,
+                epoch_len=epoch_len,
+                snapshot_interval=snapshot_interval,
+                costs=costs,
+                machine=self.machine,
+                **scheme_kwargs,
+            )
+            # Downstream inputs are regenerated from upstream replay;
+            # only the topology ingress persists events.
+            scheme.persists_events = False
+            self.schemes.append(scheme)
+        self._pending_events: List[Event] = []
+        self._next_epoch = 0
+        self._events_processed = 0
+        self._stage_event_counts = [0] * len(self.stages)
+        self._crashed = False
+        self._crash_epoch: Optional[int] = None
+
+    @property
+    def sink(self):
+        """The terminal operator's output sink."""
+        return self.schemes[-1].sink
+
+    def stage_sink(self, index: int):
+        return self.schemes[index].sink
+
+    def stage_store(self, index: int) -> Optional[StateStore]:
+        return self.schemes[index].store
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+
+    def process_stream(self, events: Sequence[Event]) -> TopologyRuntimeReport:
+        """Run ``events`` through the whole chain, epoch by epoch."""
+        if self._crashed:
+            raise RecoveryError("topology has crashed; call recover() first")
+        incoming = list(events)
+        if incoming and self._persists():
+            io_s = self.ingress.events.append_events(
+                [e.encoded() for e in incoming]
+            )
+            self.schemes[0]._charge_runtime_io(io_s, len(incoming) * 24)
+        queue = self._pending_events + incoming
+        start_elapsed = self.machine.elapsed()
+        start_events = self._events_processed
+        while len(queue) >= self.epoch_len:
+            batch, queue = queue[: self.epoch_len], queue[self.epoch_len :]
+            self._process_epoch(batch)
+        self._pending_events = queue
+        elapsed = self.machine.elapsed() - start_elapsed
+        events_done = self._events_processed - start_events
+        return TopologyRuntimeReport(
+            events_processed=events_done,
+            epochs=self._next_epoch,
+            elapsed_seconds=elapsed,
+            throughput_eps=events_done / elapsed if elapsed > 0 else 0.0,
+            buckets=self.machine.bucket_breakdown(),
+            stage_event_counts=list(self._stage_event_counts),
+            bytes_durable=self.ingress.bytes_stored
+            + sum(s.disk.bytes_stored for s in self.schemes),
+        )
+
+    def _persists(self) -> bool:
+        return type(self.schemes[0]).persists_events
+
+    def _process_epoch(self, batch: Sequence[Event]) -> None:
+        epoch_id = self._next_epoch
+        if self._persists():
+            io_s = self.ingress.events.seal_epoch(epoch_id, len(batch))
+            self.schemes[0]._charge_runtime_io(io_s, 16)
+        stage_events: Sequence[Event] = batch
+        for index, (stage, scheme) in enumerate(zip(self.stages, self.schemes)):
+            self._stage_event_counts[index] += len(stage_events)
+            outputs = scheme._process_epoch(list(stage_events))
+            stage_events = self._forward(stage, outputs)
+        self._next_epoch += 1
+        self._events_processed += len(batch)
+
+    @staticmethod
+    def _forward(stage: StageWorkload, outputs) -> List[Event]:
+        forwarded = []
+        for seq, output in outputs:
+            event = stage.emit_from_output(seq, output)
+            if event is not None:
+                if event.seq != seq:
+                    raise ConfigError(
+                        f"stage {stage.name} changed sequence {seq} -> "
+                        f"{event.seq}; forwarded events must preserve it"
+                    )
+                forwarded.append(event)
+        return forwarded
+
+    # ------------------------------------------------------------------
+    # failure and recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Single-node stoppage: all operators lose volatile state."""
+        if self._next_epoch == 0:
+            raise RecoveryError("cannot crash before any epoch was processed")
+        for scheme in self.schemes:
+            scheme.crash()
+        self._crashed = True
+        self._crash_epoch = self._next_epoch - 1
+        self._pending_events = []
+
+    def recover(self) -> TopologyRecoveryReport:
+        """Restore every stage and replay lost epochs through the chain."""
+        if not self._crashed:
+            raise RecoveryError("recover() called without a crash")
+        if not type(self.schemes[0]).takes_snapshots:
+            raise RecoveryError(
+                f"{self.schemes[0].name} cannot recover a topology"
+            )
+        machine = Machine(self.num_workers)
+        executor = ParallelExecutor(
+            machine, self.costs.sync_handoff, self.costs.remote_fetch
+        )
+
+        # Checkpoints were taken on the same group-commit boundaries, so
+        # every stage must hold the same latest snapshot epoch.
+        snap_epochs = {
+            scheme.disk.snapshots.latest_epoch() for scheme in self.schemes
+        }
+        if len(snap_epochs) != 1 or None in snap_epochs:
+            raise RecoveryError(
+                f"inconsistent stage checkpoints: {snap_epochs}"
+            )
+        snap_epoch = snap_epochs.pop()
+
+        stores: List[StateStore] = []
+        for scheme in self.schemes:
+            state, io_s = scheme.disk.snapshots.load(snap_epoch)
+            store = StateStore()
+            store.restore(state)
+            machine.spend_all(buckets.RELOAD, io_s)
+            stores.append(store)
+
+        events_replayed = 0
+        epochs = 0
+        for epoch_id in range(snap_epoch + 1, self._crash_epoch + 1):
+            raw, io_e = self.ingress.events.read_epochs(epoch_id, epoch_id)
+            machine.spend_all(buckets.RELOAD, io_e)
+            stage_events: List[Event] = [Event.from_encoded(r) for r in raw]
+            events_replayed += len(stage_events)
+            for stage, scheme, store in zip(
+                self.stages, self.schemes, stores
+            ):
+                outputs = scheme._recover_epoch(
+                    machine, executor, store, epoch_id, stage_events
+                )
+                for seq, output in outputs:
+                    scheme.sink.deliver(seq, output)
+                stage_events = self._forward(stage, outputs)
+            machine.barrier(buckets.WAIT)
+            epochs += 1
+
+        raw_pending, io_p = self.ingress.events.read_pending()
+        if raw_pending:
+            machine.spend_all(buckets.RELOAD, io_p)
+            self._pending_events = [Event.from_encoded(r) for r in raw_pending]
+
+        for scheme, store in zip(self.schemes, stores):
+            scheme.store = store
+            scheme._crashed = False
+        self._crashed = False
+        elapsed = machine.elapsed()
+        return TopologyRecoveryReport(
+            events_replayed=events_replayed,
+            epochs_replayed=epochs,
+            elapsed_seconds=elapsed,
+            throughput_eps=events_replayed / elapsed if elapsed > 0 else 0.0,
+            buckets=machine.bucket_breakdown(),
+        )

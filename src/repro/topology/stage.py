@@ -1,0 +1,39 @@
+"""Transactional operator stages.
+
+A stage is a :class:`~repro.workloads.base.Workload` (it owns tables,
+turns events into state transactions and produces outputs) that
+additionally knows how to *forward*: ``emit_from_output`` derives the
+event the next operator receives from this stage's output for an event.
+
+Two properties make cross-stage recovery sound:
+
+1. **Determinism** — the forwarded event is a pure function of the
+   output, which is itself a pure function of replayed state, so
+   replaying stage *k* regenerates stage *k+1*'s exact input stream.
+2. **Sequence preservation** — a forwarded event keeps the original
+   event's sequence number, so exactly-once deduplication works
+   end-to-end and a transaction's identity is stable across the
+   topology (the group-commit unit of §III-B).
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import Optional
+
+from repro.engine.events import Event
+from repro.workloads.base import Workload
+
+
+class StageWorkload(Workload):
+    """A workload that can forward events to a downstream operator."""
+
+    @abstractmethod
+    def emit_from_output(self, seq: int, output: tuple) -> Optional[Event]:
+        """The event forwarded downstream for one processed input.
+
+        ``output`` is exactly what :meth:`output_for` produced for the
+        event with sequence number ``seq``.  Returning ``None`` filters
+        the event (e.g. an aborted transaction produces no downstream
+        work).  The forwarded event must reuse ``seq``.
+        """

@@ -1,0 +1,94 @@
+"""Concrete stages: a two-operator Streaming Ledger pipeline.
+
+Stage 1 (:class:`LedgerStage`) is the Streaming Ledger application,
+forwarding each committed transfer's invoice downstream.  Stage 2
+(:class:`FeeAccountingStage`) books a transaction fee for every invoice
+into per-bucket revenue accounts — a second stateful operator whose
+input exists only as the first operator's output, exactly the situation
+that makes cross-operator recovery interesting (§III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.events import Event
+from repro.engine.operations import Operation
+from repro.engine.refs import StateRef
+from repro.engine.state import StateStore
+from repro.engine.transactions import Transaction
+from repro.errors import WorkloadError
+from repro.topology.stage import StageWorkload
+from repro.workloads.streaming_ledger import StreamingLedger
+
+REVENUE = "fee_revenue"
+
+
+class LedgerStage(StreamingLedger, StageWorkload):
+    """Streaming Ledger forwarding committed invoices downstream."""
+
+    name = "SL-stage"
+
+    def emit_from_output(self, seq: int, output: tuple) -> Optional[Event]:
+        kind, value = output
+        if kind != "invoice":
+            # Deposits and aborted transfers produce no downstream fee.
+            return None
+        return Event(seq, "invoice", (value,))
+
+
+class FeeAccountingStage(StageWorkload):
+    """Books a proportional fee per invoice into revenue buckets."""
+
+    name = "FEE-stage"
+
+    def __init__(
+        self,
+        num_buckets: int = 64,
+        *,
+        fee_rate: float = 0.01,
+        num_partitions: int = 8,
+    ):
+        super().__init__(num_partitions)
+        if num_buckets < 1:
+            raise WorkloadError("need at least one revenue bucket")
+        if not 0.0 < fee_rate < 1.0:
+            raise WorkloadError("fee_rate must be in (0, 1)")
+        self.num_buckets = num_buckets
+        self.fee_rate = fee_rate
+        self._table_sizes = {REVENUE: num_buckets}
+
+    def initial_state(self) -> StateStore:
+        return StateStore({REVENUE: {b: 0.0 for b in range(self.num_buckets)}})
+
+    def generate(self, num_events: int, seed: int = 0):
+        raise WorkloadError(
+            "FeeAccountingStage consumes upstream invoices; it does not "
+            "generate its own events"
+        )
+
+    def build_transaction(self, event: Event, uid_base: int) -> Transaction:
+        if event.kind != "invoice":
+            raise WorkloadError(f"unexpected event kind {event.kind!r}")
+        (amount,) = event.payload
+        bucket = event.seq % self.num_buckets
+        op = Operation(
+            uid=uid_base,
+            txn_id=event.seq,
+            ts=event.seq,
+            ref=StateRef(REVENUE, bucket),
+            func="deposit",
+            params=(round(abs(amount) * self.fee_rate, 9),),
+        )
+        return Transaction(event.seq, event.seq, event, (op,))
+
+    def output_for(
+        self, txn: Transaction, committed: bool, op_values: Dict[int, float]
+    ) -> tuple:
+        if not committed:  # pragma: no cover - fee booking never aborts
+            return ("fee", "aborted")
+        return ("fee", round(op_values[txn.ops[0].uid], 9))
+
+    def emit_from_output(self, seq: int, output: tuple) -> Optional[Event]:
+        # Terminal stage: nothing flows further downstream.
+        return None

@@ -1,0 +1,61 @@
+"""Topology ground truth: chained serial execution for verification.
+
+The single-operator harness verifies against
+:func:`repro.harness.runner.ground_truth`; for a topology the reference
+is the serial execution of the whole chain — each stage executed
+serially over the (deterministically forwarded) output of the previous
+one.  Tests and benches compare every stage's store and the terminal
+sink against this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.engine.events import Event
+from repro.engine.execution import preprocess
+from repro.engine.serial import execute_serial
+from repro.engine.state import StateStore
+from repro.topology.stage import StageWorkload
+
+
+def topology_ground_truth(
+    stages: Sequence[StageWorkload], events: Sequence[Event]
+) -> Tuple[List[StateStore], List[Dict[int, tuple]]]:
+    """Per-stage final stores and per-stage outputs of the ideal run."""
+    stores: List[StateStore] = []
+    outputs_per_stage: List[Dict[int, tuple]] = []
+    stage_events: Sequence[Event] = events
+    for stage in stages:
+        store = stage.initial_state()
+        txns = preprocess(stage_events, stage, 0)
+        outcome = execute_serial(store, txns)
+        outputs = {
+            txn.event.seq: stage.output_for(
+                txn, txn.txn_id not in outcome.aborted, outcome.op_values
+            )
+            for txn in txns
+        }
+        stores.append(store)
+        outputs_per_stage.append(outputs)
+        forwarded: List[Event] = []
+        for seq in sorted(outputs):
+            event = stage.emit_from_output(seq, outputs[seq])
+            if event is not None:
+                forwarded.append(event)
+        stage_events = forwarded
+    return stores, outputs_per_stage
+
+
+def verify_topology(engine, stages, events) -> None:
+    """Assert an engine's stores and terminal sink match the ground truth.
+
+    Raises ``AssertionError`` with a diagnostic diff on divergence.
+    """
+    stores, outputs = topology_ground_truth(stages, events)
+    for index, expected in enumerate(stores):
+        actual = engine.stage_store(index)
+        assert actual is not None and actual.equals(expected), (
+            f"stage {index} diverged: {actual.diff(expected, 5)}"
+        )
+    assert engine.sink.outputs() == outputs[-1], "terminal outputs diverged"

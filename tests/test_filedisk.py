@@ -1,0 +1,118 @@
+"""File-backed durability: recovery from real files in a fresh 'process'."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.morphstreamr import MorphStreamR
+from repro.errors import RecoveryError
+from repro.ft.checkpoint import GlobalCheckpoint
+from repro.ft.wal import WriteAheadLog
+from repro.storage.filedisk import FileBackedDisk
+from tests.conftest import serial_ground_truth
+
+RUN = dict(num_workers=3, epoch_len=50, snapshot_interval=3)
+SCHEMES = [GlobalCheckpoint, WriteAheadLog, MorphStreamR]
+
+
+def run_phase_one(tmp_path, workload, events, scheme_cls):
+    """Simulates the dying process: runtime only, objects dropped."""
+    disk = FileBackedDisk(tmp_path)
+    scheme = scheme_cls(workload, disk=disk, **RUN)
+    scheme.process_stream(events)
+    # No crash() call: the "process" simply vanishes; only files remain.
+
+
+class TestCrossProcessRecovery:
+    @pytest.mark.parametrize("scheme_cls", SCHEMES)
+    def test_fresh_process_recovers_from_files_alone(
+        self, tmp_path, gs, scheme_cls
+    ):
+        events = gs.generate(330, seed=0)  # 6 epochs + 30 pending
+        run_phase_one(tmp_path, gs, events, scheme_cls)
+
+        disk = FileBackedDisk(tmp_path)
+        scheme = scheme_cls(gs, disk=disk, **RUN)
+        scheme.adopt_crash_state()
+        scheme.recover()
+        expected, _txns, _outcome = serial_ground_truth(gs, events[:300])
+        assert scheme.store.equals(expected), scheme.store.diff(expected, 5)
+        assert len(scheme._pending_events) == 30
+
+    def test_processing_continues_in_the_new_process(self, tmp_path, gs):
+        events = gs.generate(400, seed=1)
+        run_phase_one(tmp_path, gs, events[:330], GlobalCheckpoint)
+
+        scheme = GlobalCheckpoint(gs, disk=FileBackedDisk(tmp_path), **RUN)
+        scheme.adopt_crash_state()
+        scheme.recover()
+        scheme.process_stream(events[330:])
+        expected, _txns, _outcome = serial_ground_truth(gs, events)
+        assert scheme.store.equals(expected)
+
+    def test_adopt_on_virgin_disk_recovers_initial_state(self, tmp_path, gs):
+        # A fresh scheme writes the epoch -1 checkpoint at construction,
+        # so adopting a virgin disk recovers the initial state.
+        scheme = GlobalCheckpoint(gs, disk=FileBackedDisk(tmp_path), **RUN)
+        scheme.adopt_crash_state()
+        scheme.recover()
+        assert scheme.store.equals(gs.initial_state())
+
+    def test_adopt_requires_some_durable_state(self, tmp_path, gs):
+        from repro.ft.native import Native
+
+        scheme = Native(gs, disk=FileBackedDisk(tmp_path), **RUN)
+        with pytest.raises(RecoveryError):
+            scheme.adopt_crash_state()
+
+    def test_reopened_disk_reflects_gc(self, tmp_path, gs):
+        events = gs.generate(350, seed=2)
+        run_phase_one(tmp_path, gs, events, GlobalCheckpoint)
+        disk = FileBackedDisk(tmp_path)
+        # Snapshot at epoch 5 reclaimed everything before epoch 6.
+        assert disk.snapshots.latest_epoch() == 5
+        assert disk.last_sealed_epoch() == 6
+        with pytest.raises(Exception):
+            disk.events.read_epochs(0, 0)
+
+    def test_msr_views_survive_on_disk(self, tmp_path, gs):
+        from repro.core.logmanager import STREAM
+
+        events = gs.generate(350, seed=3)
+        run_phase_one(tmp_path, gs, events, MorphStreamR)
+        disk = FileBackedDisk(tmp_path)
+        assert disk.logs.has_epoch(STREAM, 6)
+        files = list((tmp_path / "logs" / STREAM).glob("*.bin"))
+        assert files
+
+
+class TestFileStoreFidelity:
+    def test_reopened_store_equals_original(self, tmp_path, sl):
+        events = sl.generate(200, seed=4)
+        disk = FileBackedDisk(tmp_path)
+        scheme = GlobalCheckpoint(sl, disk=disk, **RUN)
+        scheme.process_stream(events)
+
+        reopened = FileBackedDisk(tmp_path)
+        assert reopened.snapshots.latest_epoch() == disk.snapshots.latest_epoch()
+        assert reopened.last_sealed_epoch() == disk.last_sealed_epoch()
+        assert reopened.events.pending_count == disk.events.pending_count
+        original, _io = disk.snapshots.load(disk.snapshots.latest_epoch())
+        restored, _io2 = reopened.snapshots.load(
+            reopened.snapshots.latest_epoch()
+        )
+        assert original == restored
+
+    def test_delta_chains_survive_reopen(self, tmp_path, gs):
+        disk = FileBackedDisk(tmp_path)
+        scheme = GlobalCheckpoint(
+            gs, disk=disk, incremental_snapshots=True,
+            full_snapshot_every=4, **RUN,
+        )
+        scheme.process_stream(gs.generate(300, seed=5))
+        reopened = FileBackedDisk(tmp_path)
+        latest = reopened.snapshots.latest_epoch()
+        assert reopened.snapshots.is_delta(latest)
+        state, _io = reopened.snapshots.load(latest)
+        original, _io2 = disk.snapshots.load(latest)
+        assert state == original

@@ -1,0 +1,98 @@
+"""State-function registry and the built-in TSP functions/conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.functions import (
+    apply_state_function,
+    condition_function,
+    evaluate_condition,
+    register_condition,
+    register_state_function,
+    state_function,
+)
+from repro.errors import ConfigError, TransactionError
+
+
+class TestRegistry:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(TransactionError):
+            state_function("no-such-fn")
+        with pytest.raises(TransactionError):
+            condition_function("no-such-cond")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_state_function("deposit", lambda own, reads, params: own)
+        with pytest.raises(ConfigError):
+            register_condition("ge", lambda values, params: True)
+
+    def test_custom_registration(self):
+        register_state_function(
+            "test_double", lambda own, reads, params: own * 2
+        )
+        assert apply_state_function("test_double", 3.0, (), ()) == 6.0
+
+
+class TestBuiltinFunctions:
+    def test_deposit(self):
+        assert apply_state_function("deposit", 10.0, (), (5.0,)) == 15.0
+
+    def test_debit(self):
+        assert apply_state_function("debit", 10.0, (), (4.0,)) == 6.0
+
+    def test_credit(self):
+        assert apply_state_function("credit", 10.0, (), (4.0,)) == 14.0
+
+    def test_credit_from_caps_at_source_balance(self):
+        assert apply_state_function("credit_from", 10.0, (100.0,), (4.0,)) == 14.0
+        assert apply_state_function("credit_from", 10.0, (2.0,), (4.0,)) == 12.0
+
+    def test_write_sum(self):
+        assert apply_state_function("write_sum", 1.0, (2.0, 3.0), ()) == 6.0
+
+    def test_grep_sum_is_contractive(self):
+        # Iterating from a large value converges instead of diverging.
+        value = 1e6
+        for _ in range(200):
+            value = apply_state_function("grep_sum", value, (1.0, 1.0), (0.05,))
+        assert abs(value) < 10.0
+
+    def test_grep_sum_without_reads(self):
+        assert apply_state_function("grep_sum", 4.0, (), (0.5,)) == 2.5
+
+    def test_ewma_moves_toward_report(self):
+        out = apply_state_function("ewma", 60.0, (), (100.0, 0.5))
+        assert out == 80.0
+
+    def test_ewma_alpha_one_replaces(self):
+        assert apply_state_function("ewma", 60.0, (), (30.0, 1.0)) == 30.0
+
+    def test_increment(self):
+        assert apply_state_function("increment", 3.0, (), ()) == 4.0
+
+    def test_set_value(self):
+        assert apply_state_function("set_value", 3.0, (), (9,)) == 9.0
+
+    def test_scale_add(self):
+        assert apply_state_function("scale_add", 2.0, (), (3.0, 1.0)) == 7.0
+
+
+class TestBuiltinConditions:
+    def test_ge(self):
+        assert evaluate_condition("ge", [5.0], (5.0,))
+        assert not evaluate_condition("ge", [4.9], (5.0,))
+
+    def test_gt_lt(self):
+        assert evaluate_condition("gt", [5.1], (5.0,))
+        assert evaluate_condition("lt", [4.9], (5.0,))
+        assert not evaluate_condition("lt", [5.0], (5.0,))
+
+    def test_always_never(self):
+        assert evaluate_condition("always", [], ())
+        assert not evaluate_condition("never", [], ())
+
+    def test_lt_minus_infinity_never_holds(self):
+        # The deterministic forced-abort predicate used by workloads.
+        assert not evaluate_condition("lt", [-1e308], (float("-inf"),))

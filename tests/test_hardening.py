@@ -1,0 +1,103 @@
+"""Hardening properties: fuzzed decoding, accounting invariants,
+format versioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.logmanager import SEGMENT_VERSION, LoggingManager, ViewSegment
+from repro.core.views import AbortView, ParametricView
+from repro.errors import RecoveryError, StorageError
+from repro.sim.clock import Machine
+from repro.sim.executor import ParallelExecutor, SimTask
+from repro.storage.codec import decode, encode
+from repro.storage.stores import Disk
+
+
+@given(st.binary(max_size=200))
+@settings(max_examples=300, deadline=None)
+def test_property_decoder_never_crashes_on_garbage(data):
+    """Arbitrary bytes either decode to a value or raise StorageError —
+    never any other exception (a recovery path must fail cleanly)."""
+    try:
+        decode(data)
+    except StorageError:
+        pass
+    except RecursionError:
+        pytest.fail("decoder recursed unboundedly on garbage input")
+
+
+@given(st.binary(min_size=1, max_size=100), st.integers(0, 99))
+@settings(max_examples=200, deadline=None)
+def test_property_single_byte_corruption_never_decodes_wrong(data, position):
+    """Flipping one byte of a valid encoding either still raises, or
+    decodes to *something* — but framed segments (CRC) always detect it.
+    Here we check the raw codec never produces the original value from
+    corrupted input (no silent aliasing)."""
+    blob = encode(data)
+    index = position % len(blob)
+    corrupted = bytearray(blob)
+    corrupted[index] ^= 0xFF
+    try:
+        result = decode(bytes(corrupted))
+    except StorageError:
+        return
+    assert result != data or bytes(corrupted) == blob
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 3),  # worker
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            st.integers(0, 4),  # dependency fan-in (on earlier tasks)
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_property_executor_accounting_sums_to_elapsed(spec):
+    """For arbitrary DAGs, per-core bucket totals plus residual idle
+    always reconstruct the makespan — no time is created or lost."""
+    tasks = []
+    for index, (worker, cost, fan_in) in enumerate(spec):
+        deps = tuple(range(max(0, index - fan_in), index))
+        tasks.append(SimTask(index, worker, cost, deps))
+    machine = Machine(4)
+    executor = ParallelExecutor(machine, sync_cost=0.5, remote_cost=0.25)
+    result = executor.run(tasks)
+    machine.barrier()
+    # After the final barrier every core's clock equals the makespan and
+    # the per-core bucket sum equals its clock.
+    for core in machine.cores:
+        assert core.clock == pytest.approx(machine.elapsed())
+        assert sum(core.buckets.values()) == pytest.approx(core.clock)
+    assert machine.elapsed() >= result.makespan - 1e-12
+
+
+class TestSegmentVersioning:
+    def _segment(self):
+        return ViewSegment(0, AbortView(0), ParametricView(0), None)
+
+    def test_segments_carry_the_current_version(self):
+        assert self._segment().encoded()[0] == SEGMENT_VERSION
+
+    def test_round_trip(self):
+        raw = decode(encode(self._segment().encoded()))
+        restored = ViewSegment.from_encoded(raw)
+        assert restored.epoch_id == 0
+
+    def test_unknown_version_rejected(self):
+        raw = list(self._segment().encoded())
+        raw[0] = SEGMENT_VERSION + 1
+        with pytest.raises(RecoveryError, match="version"):
+            ViewSegment.from_encoded(tuple(raw))
+
+    def test_versioned_segment_survives_disk_round_trip(self):
+        lm = LoggingManager(Disk())
+        lm.stage(self._segment())
+        lm.commit()
+        segment, _io = lm.load_epoch(0)
+        assert segment.epoch_id == 0

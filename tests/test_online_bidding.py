@@ -1,0 +1,92 @@
+"""Online Bidding workload: auction semantics and recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.morphstreamr import MorphStreamR
+from repro.engine.execution import preprocess
+from repro.engine.refs import StateRef
+from repro.errors import WorkloadError
+from repro.ft.checkpoint import GlobalCheckpoint
+from repro.ft.dlog import DependencyLogging
+from repro.ft.lsnvector import LSNVector
+from repro.ft.wal import WriteAheadLog
+from repro.workloads.online_bidding import PRICE, QUANTITY, OnlineBidding
+from tests.conftest import serial_ground_truth
+
+
+@pytest.fixture
+def ob():
+    return OnlineBidding(
+        32, bid_ratio=0.8, alter_ratio=0.1, skew=0.6, num_partitions=4
+    )
+
+
+class TestSemantics:
+    def test_bid_transaction_shape(self, ob):
+        events = [e for e in ob.generate(200, seed=0) if e.kind == "bid"]
+        assert events
+        for txn in preprocess(events[:20], ob, 0):
+            assert len(txn.ops) == 2
+            assert len(txn.conditions) == 2
+            assert txn.ops[0].ref.table == QUANTITY
+            assert txn.ops[1].ref.table == PRICE
+
+    def test_quantity_never_negative(self, ob):
+        events = ob.generate(600, seed=1)
+        store, _txns, _outcome = serial_ground_truth(ob, events)
+        for item in range(32):
+            assert store.get(StateRef(QUANTITY, item)) >= 0.0
+
+    def test_hot_items_reject_bids(self, ob):
+        events = ob.generate(600, seed=1)
+        _store, txns, outcome = serial_ground_truth(ob, events)
+        rejected = [
+            t for t in txns
+            if t.event.kind == "bid" and t.txn_id in outcome.aborted
+        ]
+        won = [
+            t for t in txns
+            if t.event.kind == "bid" and t.txn_id not in outcome.aborted
+        ]
+        assert rejected and won
+
+    def test_winning_bids_raise_the_price(self):
+        ob = OnlineBidding(1, bid_ratio=1.0, alter_ratio=0.0, skew=0.0,
+                           num_partitions=1, initial_quantity=1000.0)
+        events = ob.generate(50, seed=2)
+        store, _txns, outcome = serial_ground_truth(ob, events)
+        wins = 50 - len(outcome.aborted)
+        expected = ob.initial_price * (1.0 + ob.price_premium) ** wins
+        assert store.get(StateRef(PRICE, 0)) == pytest.approx(expected)
+
+    def test_alters_and_topups_never_abort(self, ob):
+        events = [
+            e for e in ob.generate(400, seed=3) if e.kind != "bid"
+        ]
+        _store, _txns, outcome = serial_ground_truth(ob, events)
+        assert not outcome.aborted
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            OnlineBidding(0)
+        with pytest.raises(WorkloadError):
+            OnlineBidding(8, bid_ratio=0.8, alter_ratio=0.5)
+        with pytest.raises(WorkloadError):
+            OnlineBidding(8, price_premium=1.5)
+
+
+@pytest.mark.parametrize(
+    "scheme_cls",
+    [GlobalCheckpoint, WriteAheadLog, DependencyLogging, LSNVector, MorphStreamR],
+)
+def test_recovery_exact_for_all_schemes(ob, scheme_cls):
+    events = ob.generate(350, seed=4)
+    scheme = scheme_cls(ob, num_workers=4, epoch_len=50, snapshot_interval=3)
+    scheme.process_stream(events)
+    scheme.crash()
+    scheme.recover()
+    expected, _txns, _outcome = serial_ground_truth(ob, events)
+    assert scheme.store.equals(expected), scheme.store.diff(expected, 5)
+    assert len(scheme.sink) == 350

@@ -1,0 +1,92 @@
+"""ASCII plotting: deterministic geometry and scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.plot import SERIES_GLYPHS, bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_maximum(self):
+        chart = bar_chart({"a": 4.0, "b": 2.0}, width=8)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 8
+        assert lines[1].count("█") == 4
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"x": 1.0, "longer": 1.0}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_unit_suffix(self):
+        chart = bar_chart({"a": 1500.0}, width=4, unit="/s")
+        assert "1.5k/s" in chart
+
+    def test_zero_values_handled(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0}, width=4)
+        assert "█" not in chart
+
+    def test_empty_input(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigError):
+            bar_chart({"a": 1.0}, width=0)
+
+
+class TestLineChart:
+    def test_single_series_corners(self):
+        chart = line_chart(
+            {"s": [(0.0, 0.0), (10.0, 100.0)]}, width=10, height=5
+        )
+        lines = chart.splitlines()
+        # Max y lands on the top row, min y on the bottom row.
+        assert "o" in lines[0]
+        assert "o" in lines[4]
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = line_chart(
+            {
+                "first": [(0, 1), (1, 2)],
+                "second": [(0, 2), (1, 1)],
+            },
+            width=12,
+            height=6,
+        )
+        assert SERIES_GLYPHS[0] in chart
+        assert SERIES_GLYPHS[1] in chart
+        assert "first" in chart and "second" in chart
+
+    def test_axis_labels_rendered(self):
+        chart = line_chart(
+            {"s": [(1, 1), (2, 2)]},
+            width=8,
+            height=4,
+            x_label="cores",
+            y_label="events/s",
+        )
+        assert "x: cores" in chart
+        assert "y: events/s" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"s": [(0, 5.0), (1, 5.0)]}, width=6, height=3)
+        assert "o" in chart
+
+    def test_si_scaling_on_axis(self):
+        chart = line_chart({"s": [(0, 0), (1, 2_000_000)]}, width=6, height=3)
+        assert "2M" in chart
+
+    def test_empty_input(self):
+        assert line_chart({}) == "(no data)"
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigError):
+            line_chart({"s": [(0, 0)]}, width=1)
+        with pytest.raises(ConfigError):
+            line_chart({"s": [(0, 0)]}, height=1)
+
+    def test_deterministic(self):
+        series = {"a": [(0, 1), (3, 9), (5, 4)]}
+        assert line_chart(series) == line_chart(series)

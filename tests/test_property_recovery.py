@@ -1,0 +1,158 @@
+"""Property-based end-to-end recovery: every scheme, random workloads.
+
+The central invariant of the whole system — after an arbitrary
+runtime/crash/recovery cycle, the recovered state equals the serial
+ground truth and every event's output is delivered exactly once —
+checked under randomized workload parameters.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.morphstreamr import MorphStreamR, MSROptions
+from repro.ft.checkpoint import GlobalCheckpoint
+from repro.ft.dlog import DependencyLogging
+from repro.ft.lsnvector import LSNVector
+from repro.ft.wal import WriteAheadLog
+from repro.workloads.grep_sum import GrepSum
+from repro.workloads.streaming_ledger import StreamingLedger
+from repro.workloads.toll_processing import TollProcessing
+from tests.conftest import serial_ground_truth
+
+SCHEMES = [
+    GlobalCheckpoint,
+    WriteAheadLog,
+    DependencyLogging,
+    LSNVector,
+    MorphStreamR,
+]
+
+
+def _cycle_and_check(workload, scheme_cls, seed, **kwargs):
+    events = workload.generate(240, seed=seed)
+    scheme = scheme_cls(
+        workload, num_workers=3, epoch_len=40, snapshot_interval=3, **kwargs
+    )
+    scheme.process_stream(events)
+    scheme.crash()
+    scheme.recover()
+    expected, _txns, _outcome = serial_ground_truth(workload, events)
+    assert scheme.store.equals(expected), scheme.store.diff(expected, 5)
+    assert len(scheme.sink) == len(events)
+    assert set(scheme.sink.outputs()) == {e.seq for e in events}
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    skew=st.floats(0.0, 0.99),
+    list_len=st.integers(1, 6),
+    mp_ratio=st.floats(0.0, 1.0),
+    abort_ratio=st.floats(0.0, 0.6),
+    scheme_index=st.integers(0, len(SCHEMES) - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_grep_sum_recovery(
+    seed, skew, list_len, mp_ratio, abort_ratio, scheme_index
+):
+    workload = GrepSum(
+        96,
+        list_len=list_len,
+        skew=skew,
+        multi_partition_ratio=mp_ratio,
+        abort_ratio=abort_ratio,
+        num_partitions=3,
+    )
+    _cycle_and_check(workload, SCHEMES[scheme_index], seed)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    transfer_ratio=st.floats(0.0, 1.0),
+    mp_ratio=st.floats(0.0, 1.0),
+    skew=st.floats(0.0, 0.9),
+    balance=st.floats(50.0, 5000.0),
+    scheme_index=st.integers(0, len(SCHEMES) - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_streaming_ledger_recovery(
+    seed, transfer_ratio, mp_ratio, skew, balance, scheme_index
+):
+    workload = StreamingLedger(
+        48,
+        transfer_ratio=transfer_ratio,
+        multi_partition_ratio=mp_ratio,
+        skew=skew,
+        initial_balance=balance,
+        forced_abort_ratio=0.05,
+        num_partitions=3,
+    )
+    _cycle_and_check(workload, SCHEMES[scheme_index], seed)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    skew=st.floats(0.0, 0.99),
+    capacity=st.floats(3.0, 60.0),
+    scheme_index=st.integers(0, len(SCHEMES) - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_toll_processing_recovery(seed, skew, capacity, scheme_index):
+    workload = TollProcessing(
+        24, skew=skew, capacity=capacity, num_partitions=3
+    )
+    _cycle_and_check(workload, SCHEMES[scheme_index], seed)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    selective=st.booleans(),
+    restructure=st.booleans(),
+    pushdown=st.booleans(),
+    lpt=st.booleans(),
+    commit_every=st.sampled_from([1, 3]),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_msr_option_lattice(
+    seed, selective, restructure, pushdown, lpt, commit_every
+):
+    """Every corner of the MSR option lattice recovers exactly."""
+    workload = GrepSum(
+        96, skew=0.7, abort_ratio=0.15, multi_partition_ratio=0.6,
+        num_partitions=3,
+    )
+    options = MSROptions(
+        selective_logging=selective,
+        op_restructure=restructure,
+        abort_pushdown=pushdown,
+        opt_task_assign=lpt,
+    )
+    _cycle_and_check(
+        workload, MorphStreamR, seed, options=options, commit_every=commit_every
+    )
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    crash_epochs=st.integers(1, 3),
+    scheme_index=st.integers(0, len(SCHEMES) - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_multiple_crash_recover_cycles(seed, crash_epochs, scheme_index):
+    """Crash → recover → keep processing → crash again: still exact."""
+    workload = GrepSum(64, skew=0.5, abort_ratio=0.1, num_partitions=3)
+    events = workload.generate(400, seed=seed)
+    scheme = SCHEMES[scheme_index](
+        workload, num_workers=3, epoch_len=40, snapshot_interval=4
+    )
+    scheme.process_stream(events[:200])
+    scheme.crash()
+    scheme.recover()
+    scheme.process_stream(events[200:])
+    scheme.crash()
+    scheme.recover()
+    expected, _txns, _outcome = serial_ground_truth(workload, events)
+    assert scheme.store.equals(expected)
+    assert len(scheme.sink) == 400

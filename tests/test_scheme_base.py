@@ -1,0 +1,143 @@
+"""FTScheme framework: epochs, crash semantics, sink, GC, NAT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, RecoveryError
+from repro.ft.base import OutputSink
+from repro.ft.checkpoint import GlobalCheckpoint
+from repro.ft.native import Native
+
+
+class TestOutputSink:
+    def test_exactly_once_dedupe(self):
+        sink = OutputSink()
+        sink.deliver(1, ("a",))
+        sink.deliver(1, ("a",))
+        assert len(sink) == 1
+        assert sink.duplicates_suppressed == 1
+
+    def test_conflicting_regeneration_raises(self):
+        sink = OutputSink()
+        sink.deliver(1, ("a",))
+        with pytest.raises(RecoveryError):
+            sink.deliver(1, ("b",))
+
+    def test_outputs_snapshot_is_a_copy(self):
+        sink = OutputSink()
+        sink.deliver(1, ("a",))
+        out = sink.outputs()
+        out[2] = ("b",)
+        assert len(sink) == 1
+
+
+class TestConstruction:
+    def test_invalid_parameters_rejected(self, sl):
+        with pytest.raises(ConfigError):
+            GlobalCheckpoint(sl, num_workers=0)
+        with pytest.raises(ConfigError):
+            GlobalCheckpoint(sl, epoch_len=0)
+        with pytest.raises(ConfigError):
+            GlobalCheckpoint(sl, snapshot_interval=0)
+
+    def test_initial_snapshot_taken(self, sl):
+        scheme = GlobalCheckpoint(sl, num_workers=2, epoch_len=16)
+        assert scheme.disk.snapshots.latest_epoch() == -1
+
+
+class TestEpochBatching:
+    def test_partial_epoch_buffered_until_full(self, sl):
+        scheme = GlobalCheckpoint(sl, num_workers=2, epoch_len=100)
+        events = sl.generate(200, seed=0)
+        report = scheme.process_stream(events[:150])
+        assert report.events_processed == 100
+        assert report.epochs == 1
+        # Feeding the remaining half epoch completes epoch 2.
+        report = scheme.process_stream(events[150:])
+        assert report.epochs == 2
+
+    def test_event_counters_accumulate(self, sl):
+        scheme = GlobalCheckpoint(sl, num_workers=2, epoch_len=50)
+        events = sl.generate(200, seed=0)
+        scheme.process_stream(events[:100])
+        report = scheme.process_stream(events[100:])
+        assert report.epochs == 4
+
+    def test_throughput_positive(self, workload):
+        scheme = GlobalCheckpoint(workload, num_workers=2, epoch_len=50)
+        report = scheme.process_stream(workload.generate(100, seed=0))
+        assert report.throughput_eps > 0
+        assert report.elapsed_seconds > 0
+
+
+class TestCrashSemantics:
+    def test_crash_before_any_epoch_rejected(self, sl):
+        scheme = GlobalCheckpoint(sl, num_workers=2, epoch_len=50)
+        with pytest.raises(RecoveryError):
+            scheme.crash()
+
+    def test_crash_drops_volatile_state(self, sl):
+        scheme = GlobalCheckpoint(sl, num_workers=2, epoch_len=50)
+        scheme.process_stream(sl.generate(100, seed=0))
+        scheme.crash()
+        assert scheme.store is None
+        assert scheme.crash_epoch == 1
+
+    def test_processing_after_crash_rejected(self, sl):
+        scheme = GlobalCheckpoint(sl, num_workers=2, epoch_len=50)
+        scheme.process_stream(sl.generate(100, seed=0))
+        scheme.crash()
+        with pytest.raises(RecoveryError):
+            scheme.process_stream(sl.generate(50, seed=1))
+
+    def test_recover_without_crash_rejected(self, sl):
+        scheme = GlobalCheckpoint(sl, num_workers=2, epoch_len=50)
+        scheme.process_stream(sl.generate(100, seed=0))
+        with pytest.raises(RecoveryError):
+            scheme.recover()
+
+    def test_recovery_restores_store_and_clears_crash(self, sl):
+        scheme = GlobalCheckpoint(
+            sl, num_workers=2, epoch_len=50, snapshot_interval=3
+        )
+        scheme.process_stream(sl.generate(200, seed=0))
+        scheme.crash()
+        report = scheme.recover()
+        assert scheme.store is not None
+        assert report.events_replayed == 50  # epochs 3 (snapshot at 2)
+        # Processing can resume after recovery.
+        scheme.process_stream(sl.generate(250, seed=0)[200:250])
+
+
+class TestGarbageCollection:
+    def test_old_segments_reclaimed_at_snapshot(self, sl):
+        scheme = GlobalCheckpoint(
+            sl, num_workers=2, epoch_len=50, snapshot_interval=2
+        )
+        scheme.process_stream(sl.generate(400, seed=0))
+        # Snapshot at epoch 7 reclaimed everything before epoch 8.
+        assert scheme.disk.snapshots.latest_epoch() == 7
+        assert scheme.disk.events.bytes_stored == 0
+
+
+class TestNative:
+    def test_persists_nothing(self, sl):
+        scheme = Native(sl, num_workers=2, epoch_len=50)
+        scheme.process_stream(sl.generate(100, seed=0))
+        assert scheme.disk.bytes_stored == 0
+
+    def test_recover_unsupported(self, sl):
+        scheme = Native(sl, num_workers=2, epoch_len=50)
+        scheme.process_stream(sl.generate(100, seed=0))
+        scheme.crash()
+        with pytest.raises(RecoveryError):
+            scheme.recover()
+
+    def test_runtime_is_upper_bound(self, workload):
+        native = Native(workload, num_workers=4, epoch_len=50)
+        ckpt = GlobalCheckpoint(workload, num_workers=4, epoch_len=50)
+        events = workload.generate(200, seed=0)
+        nat_report = native.process_stream(events)
+        ckpt_report = ckpt.process_stream(events)
+        assert nat_report.throughput_eps >= ckpt_report.throughput_eps

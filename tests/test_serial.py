@@ -1,0 +1,137 @@
+"""Serial ground-truth executor: the TSP semantics of §II-A.
+
+Includes a literal encoding of the paper's Fig. 3 scenario (deposit then
+two transfers with sufficient-balance conditions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.events import Event
+from repro.engine.operations import Condition, Operation
+from repro.engine.refs import StateRef
+from repro.engine.serial import execute_serial
+from repro.engine.state import StateStore
+from repro.engine.transactions import Transaction
+
+A = StateRef("accounts", "A")
+B = StateRef("accounts", "B")
+
+
+def deposit(txn_id, key, amount, uid):
+    op = Operation(uid, txn_id, txn_id, key, "deposit", (amount,))
+    return Transaction(txn_id, txn_id, Event(txn_id, "deposit", ()), (op,))
+
+
+def transfer(txn_id, src, dst, amount, uid):
+    ops = (
+        Operation(uid, txn_id, txn_id, src, "debit", (amount,)),
+        Operation(uid + 1, txn_id, txn_id, dst, "credit", (amount,)),
+    )
+    cond = Condition("ge", (src,), (amount,))
+    return Transaction(txn_id, txn_id, Event(txn_id, "transfer", ()), ops, (cond,))
+
+
+@pytest.fixture
+def store():
+    return StateStore({"accounts": {"A": 0.0, "B": 0.0}})
+
+
+class TestFigure3Scenario:
+    """e1: Deposit(A, 100); e2: Transfer(A→B, 60); e3: Transfer(B→A, 50)."""
+
+    def test_all_commit(self, store):
+        txns = [
+            deposit(0, A, 100.0, uid=0),
+            transfer(1, A, B, 60.0, uid=1),
+            transfer(2, B, A, 50.0, uid=3),
+        ]
+        outcome = execute_serial(store, txns)
+        assert outcome.aborted == set()
+        assert store.get(A) == pytest.approx(90.0)
+        assert store.get(B) == pytest.approx(10.0)
+
+    def test_insufficient_balance_aborts_whole_transaction(self, store):
+        txns = [
+            deposit(0, A, 100.0, uid=0),
+            transfer(1, A, B, 150.0, uid=1),  # A has only 100
+        ]
+        outcome = execute_serial(store, txns)
+        assert outcome.aborted == {1}
+        # Atomicity: neither the debit nor the credit applied.
+        assert store.get(A) == pytest.approx(100.0)
+        assert store.get(B) == pytest.approx(0.0)
+
+    def test_abort_condition_sees_pre_transaction_state(self, store):
+        # e2 transfers exactly A's balance; the condition reads the
+        # post-e1 value of A, not the post-e2 one.
+        txns = [
+            deposit(0, A, 100.0, uid=0),
+            transfer(1, A, B, 100.0, uid=1),
+        ]
+        outcome = execute_serial(store, txns)
+        assert outcome.aborted == set()
+        assert store.get(A) == 0.0
+        assert store.get(B) == 100.0
+
+    def test_downstream_transaction_sees_aborted_as_noop(self, store):
+        txns = [
+            deposit(0, A, 100.0, uid=0),
+            transfer(1, A, B, 150.0, uid=1),  # aborts
+            transfer(2, A, B, 100.0, uid=3),  # must still see A == 100
+        ]
+        outcome = execute_serial(store, txns)
+        assert outcome.aborted == {1}
+        assert store.get(A) == 0.0
+        assert store.get(B) == 100.0
+
+
+class TestOutcomeArtifacts:
+    def test_op_values_recorded_for_committed_only(self, store):
+        txns = [
+            deposit(0, A, 100.0, uid=0),
+            transfer(1, A, B, 150.0, uid=1),
+        ]
+        outcome = execute_serial(store, txns)
+        assert outcome.op_values[0] == 100.0
+        assert 1 not in outcome.op_values
+        assert 2 not in outcome.op_values
+
+    def test_read_values_resolved_pre_transaction(self):
+        store = StateStore({"accounts": {"A": 5.0, "B": 1.0}})
+        op = Operation(0, 0, 0, B, "write_sum", (), reads=(A,))
+        txn = Transaction(0, 0, Event(0, "sum", ()), (op,))
+        outcome = execute_serial(store, [txn])
+        assert outcome.read_values[0] == (5.0,)
+        assert store.get(B) == 6.0
+
+    def test_cond_values_recorded_even_on_abort(self, store):
+        txns = [transfer(0, A, B, 10.0, uid=0)]  # A == 0 -> aborts
+        outcome = execute_serial(store, txns)
+        assert outcome.cond_values[0] == {A: 0.0}
+        assert outcome.aborted == {0}
+
+    def test_decisions_in_timestamp_order(self, store):
+        txns = [
+            transfer(1, A, B, 10.0, uid=1),
+            deposit(0, A, 100.0, uid=0),
+        ]
+        outcome = execute_serial(store, txns)
+        # Supplied out of order; executed and recorded in ts order, so
+        # the transfer sees the deposited balance and commits.
+        assert outcome.decisions == [(0, True), (1, True)]
+
+    def test_within_transaction_snapshot_reads(self):
+        # An op reading a key its own transaction writes sees the
+        # pre-transaction value (no read-own-write).
+        store = StateStore({"accounts": {"A": 10.0, "B": 0.0}})
+        ops = (
+            Operation(0, 0, 0, A, "deposit", (5.0,)),
+            Operation(1, 0, 0, B, "write_sum", (), reads=(A,)),
+        )
+        txn = Transaction(0, 0, Event(0, "e", ()), ops)
+        outcome = execute_serial(store, [txn])
+        # B = 0 + A(pre-txn)=10, not 15.
+        assert store.get(B) == 10.0
+        assert outcome.read_values[1] == (10.0,)

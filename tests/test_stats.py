@@ -1,0 +1,111 @@
+"""Sweep statistics: speedups, crossovers, scaling efficiency."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.stats import (
+    crossover,
+    monotonic_fraction,
+    relative_overhead,
+    scaling_efficiency,
+    speedup_vs_suboptimal,
+    summarize_sweep,
+)
+
+
+class TestSpeedup:
+    def test_against_best_of_the_rest(self):
+        totals = {"MSR": 1.0, "CKPT": 3.0, "WAL": 10.0}
+        assert speedup_vs_suboptimal(totals, "MSR") == pytest.approx(3.0)
+
+    def test_best_can_actually_be_worse(self):
+        totals = {"MSR": 4.0, "CKPT": 2.0}
+        assert speedup_vs_suboptimal(totals, "MSR") == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            speedup_vs_suboptimal({"MSR": 1.0}, "MSR")
+        with pytest.raises(ConfigError):
+            speedup_vs_suboptimal({"A": 1.0, "B": 2.0}, "C")
+        with pytest.raises(ConfigError):
+            speedup_vs_suboptimal({"A": 0.0, "B": 2.0}, "A")
+
+
+class TestCrossover:
+    def test_interpolated_crossing(self):
+        a = [(0.0, 0.0), (1.0, 2.0)]
+        b = [(0.0, 1.0), (1.0, 1.0)]
+        assert crossover(a, b) == pytest.approx(0.5)
+
+    def test_exact_touch_returns_that_x(self):
+        a = [(0.0, 1.0), (1.0, 2.0)]
+        b = [(0.0, 1.0), (1.0, 0.0)]
+        assert crossover(a, b) == pytest.approx(0.0)
+
+    def test_no_crossover(self):
+        a = [(0.0, 2.0), (1.0, 3.0)]
+        b = [(0.0, 1.0), (1.0, 1.5)]
+        assert crossover(a, b) is None
+
+    def test_crossing_at_final_point(self):
+        a = [(0.0, 0.0), (1.0, 1.0)]
+        b = [(0.0, 1.0), (1.0, 1.0)]
+        assert crossover(a, b) == pytest.approx(1.0)
+
+    def test_mismatched_grids_rejected(self):
+        with pytest.raises(ConfigError):
+            crossover([(0.0, 1.0)], [(1.0, 1.0)])
+
+    def test_empty_series(self):
+        assert crossover([], []) is None
+
+
+class TestScalingEfficiency:
+    def test_perfect_scaling(self):
+        points = [(1, 100.0), (8, 800.0)]
+        assert scaling_efficiency(points) == pytest.approx(1.0)
+
+    def test_flat_is_inverse_of_cores(self):
+        points = [(1, 100.0), (4, 100.0)]
+        assert scaling_efficiency(points) == pytest.approx(0.25)
+
+    def test_order_independent(self):
+        assert scaling_efficiency([(8, 400.0), (1, 100.0)]) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            scaling_efficiency([(1, 100.0)])
+        with pytest.raises(ConfigError):
+            scaling_efficiency([(1, 0.0), (2, 10.0)])
+
+
+class TestMonotonicFraction:
+    def test_strictly_increasing(self):
+        points = [(0, 1.0), (1, 2.0), (2, 3.0)]
+        assert monotonic_fraction(points, increasing=True) == 1.0
+
+    def test_direction_flag(self):
+        points = [(0, 3.0), (1, 2.0), (2, 1.0)]
+        assert monotonic_fraction(points, increasing=False) == 1.0
+        assert monotonic_fraction(points, increasing=True) == 0.0
+
+    def test_partial(self):
+        points = [(0, 1.0), (1, 3.0), (2, 2.0), (3, 4.0)]
+        assert monotonic_fraction(points, increasing=True) == pytest.approx(2 / 3)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            monotonic_fraction([(0, 1.0)])
+
+
+class TestMisc:
+    def test_relative_overhead(self):
+        assert relative_overhead(120.0, 100.0) == pytest.approx(0.2)
+        with pytest.raises(ConfigError):
+            relative_overhead(1.0, 0.0)
+
+    def test_summarize_sweep(self):
+        summary = summarize_sweep({"a": [(0, 2.0), (1, 4.0)], "b": []})
+        assert summary == [("a", 2.0, 4.0, 2.0)]

@@ -1,0 +1,156 @@
+"""Synthetic workload: differential stress of every recovery scheme."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.morphstreamr import MorphStreamR, MSROptions
+from repro.engine.execution import execute_tpg, preprocess
+from repro.engine.tpg import build_tpg
+from repro.errors import WorkloadError
+from repro.ft.checkpoint import GlobalCheckpoint
+from repro.ft.dlog import DependencyLogging
+from repro.ft.lsnvector import LSNVector
+from repro.ft.wal import WriteAheadLog
+from repro.workloads.synthetic import SyntheticWorkload
+from tests.conftest import serial_ground_truth
+
+SCHEMES = [
+    GlobalCheckpoint,
+    WriteAheadLog,
+    DependencyLogging,
+    LSNVector,
+    MorphStreamR,
+]
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        workload = SyntheticWorkload(64)
+        assert workload.generate(50, seed=9) == workload.generate(50, seed=9)
+
+    def test_transactions_are_well_formed(self):
+        workload = SyntheticWorkload(
+            64, max_ops=4, condition_ratio=0.8, forced_abort_ratio=0.2
+        )
+        events = workload.generate(200, seed=1)
+        txns = preprocess(events, workload, 0)
+        shapes = {len(t.ops) for t in txns}
+        assert len(shapes) > 1, "shape variety expected"
+        assert any(t.conditions for t in txns)
+        assert any(len(t.ops) >= 3 for t in txns)
+
+    def test_mixed_outcomes(self):
+        workload = SyntheticWorkload(64, condition_ratio=0.8)
+        events = workload.generate(400, seed=2)
+        _store, txns, outcome = serial_ground_truth(workload, events)
+        assert 0 < len(outcome.aborted) < len(txns)
+
+    def test_parallel_execution_matches_serial(self):
+        workload = SyntheticWorkload(64, condition_ratio=0.7)
+        events = workload.generate(300, seed=3)
+        serial_store, _txns, serial_outcome = serial_ground_truth(
+            workload, events
+        )
+        parallel_store = workload.initial_state()
+        outcome = execute_tpg(
+            parallel_store, build_tpg(preprocess(events, workload, 0))
+        )
+        assert parallel_store.equals(serial_store)
+        assert outcome.aborted == serial_outcome.aborted
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkload(4, max_ops=4)
+        with pytest.raises(WorkloadError):
+            SyntheticWorkload(64, num_tables=0)
+        with pytest.raises(WorkloadError):
+            SyntheticWorkload(64, condition_ratio=1.5)
+
+
+@pytest.mark.parametrize("scheme_cls", SCHEMES)
+def test_every_scheme_survives_synthetic_shapes(scheme_cls):
+    workload = SyntheticWorkload(
+        96,
+        num_tables=3,
+        max_ops=4,
+        condition_ratio=0.6,
+        forced_abort_ratio=0.1,
+        num_partitions=3,
+    )
+    events = workload.generate(350, seed=4)
+    scheme = scheme_cls(
+        workload, num_workers=3, epoch_len=50, snapshot_interval=3
+    )
+    scheme.process_stream(events)
+    scheme.crash()
+    scheme.recover()
+    expected, _txns, _outcome = serial_ground_truth(workload, events)
+    assert scheme.store.equals(expected), scheme.store.diff(expected, 5)
+    assert len(scheme.sink) == 350
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    max_ops=st.integers(1, 5),
+    num_tables=st.integers(1, 4),
+    condition_ratio=st.floats(0.0, 1.0),
+    skew=st.floats(0.0, 0.95),
+    scheme_index=st.integers(0, len(SCHEMES) - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_synthetic_recovery(
+    seed, max_ops, num_tables, condition_ratio, skew, scheme_index
+):
+    """Arbitrary transaction shapes: recovery still exact for all schemes."""
+    workload = SyntheticWorkload(
+        72,
+        num_tables=num_tables,
+        max_ops=max_ops,
+        condition_ratio=condition_ratio,
+        skew=skew,
+        forced_abort_ratio=0.05,
+        num_partitions=3,
+    )
+    events = workload.generate(220, seed=seed)
+    scheme = SCHEMES[scheme_index](
+        workload, num_workers=3, epoch_len=40, snapshot_interval=3
+    )
+    scheme.process_stream(events)
+    scheme.crash()
+    scheme.recover()
+    # 5 epochs of 40 sealed; the last 20 events stay pending.
+    expected, _txns, _outcome = serial_ground_truth(workload, events[:200])
+    assert scheme.store.equals(expected)
+    assert len(scheme.sink) == 200
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    selective=st.booleans(),
+    pushdown=st.booleans(),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_msr_options_on_synthetic(seed, selective, pushdown):
+    workload = SyntheticWorkload(
+        72, max_ops=3, condition_ratio=0.7, forced_abort_ratio=0.15,
+        num_partitions=3,
+    )
+    events = workload.generate(220, seed=seed)
+    scheme = MorphStreamR(
+        workload,
+        num_workers=3,
+        epoch_len=40,
+        snapshot_interval=3,
+        options=MSROptions(
+            selective_logging=selective, abort_pushdown=pushdown
+        ),
+    )
+    scheme.process_stream(events)
+    scheme.crash()
+    scheme.recover()
+    # 5 epochs of 40 sealed; the tail stays pending.
+    expected, _txns, _outcome = serial_ground_truth(workload, events[:200])
+    assert scheme.store.equals(expected)
