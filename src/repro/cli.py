@@ -1,15 +1,19 @@
 """Command-line interface: run experiments and figure reproductions.
 
-Three subcommands::
+Subcommands::
 
     repro list                      # available workloads/schemes/figures
     repro run --workload SL --scheme MSR [sizing options]
     repro figure fig11 [--quick]
+    repro chaos [--smoke] [--seed N]
 
 ``repro run`` executes one runtime → crash → recovery experiment with
 full verification and prints both reports; ``repro figure`` regenerates
 one of the paper's evaluation figures and prints the series the figure
-plots (the same output the benchmarks produce).
+plots (the same output the benchmarks produce).  ``repro chaos`` sweeps
+storage faults × mid-epoch crash points × schemes and verifies that
+every cell either recovers exactly (possibly through the fallback
+ladder) or fails loudly with a documented storage error.
 """
 
 from __future__ import annotations
@@ -88,6 +92,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="additionally render an ASCII chart of the figure",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="sweep storage faults × crash points × schemes and verify "
+        "every recovery",
+    )
+    chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep (3 schemes × 2 faults × 2 crash points) for CI",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
 
     cal = sub.add_parser(
         "calibrate",
@@ -331,6 +347,73 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.harness.chaos import ChaosConfig, run_chaos, smoke_config
+
+    cfg = (
+        smoke_config(seed=args.seed)
+        if args.smoke
+        else replace(ChaosConfig(), seed=args.seed)
+    )
+    cells = len(cfg.schemes) * len(cfg.fault_kinds) * len(cfg.crash_points)
+    print(
+        f"chaos sweep: {len(cfg.schemes)} schemes × "
+        f"{len(cfg.fault_kinds)} faults × {len(cfg.crash_points)} crash "
+        f"points = {cells} cells (seed {cfg.seed}) ..."
+    )
+    report = run_chaos(cfg)
+    rows = []
+    for run in report.runs:
+        ladder = (
+            " ".join(f"{r}:{n}" for r, n in sorted(run.ladder.items()))
+            or "-"
+        )
+        rows.append(
+            [
+                "OK" if run.ok else "FAIL",
+                run.scheme,
+                run.fault,
+                run.crash_point,
+                run.actual_point or "-",
+                run.outcome,
+                ladder,
+                format_seconds(run.mttr_seconds)
+                if run.mttr_seconds
+                else "-",
+                run.detail[:60],
+            ]
+        )
+    print_figure(
+        "Chaos sweep — fault × crash point × scheme",
+        render_table(
+            [
+                "verdict",
+                "scheme",
+                "fault",
+                "point",
+                "actual",
+                "outcome",
+                "ladder",
+                "MTTR",
+                "detail",
+            ],
+            rows,
+        ),
+    )
+    counts = report.outcome_counts()
+    summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    if report.passed:
+        print(f"\nall {len(report.runs)} cells verified — {summary}")
+        return 0
+    print(
+        f"\n{len(report.failures)} cell(s) FAILED "
+        f"(silent divergence or undocumented error) — {summary}"
+    )
+    return 1
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     scale = figures.QUICK_SCALE if args.quick else figures.DEFAULT_SCALE
     print("running the qualitative-claim battery ...")
@@ -359,6 +442,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     raise AssertionError("unreachable")  # pragma: no cover

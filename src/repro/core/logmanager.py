@@ -114,12 +114,17 @@ class LoggingManager:
         """
         io_seconds = 0.0
         total_bytes = 0
+        faults = getattr(self._disk, "faults", None)
         for segment in self._buffer:
             blob = segment.encoded()
             io_seconds += self._disk.logs.commit_epoch(
                 STREAM, segment.epoch_id, blob
             )
             total_bytes += segment.byte_size()
+            # Crash point inside group commit: an injected crash lands
+            # with some-but-not-all segments of this commit durable.
+            if faults is not None:
+                faults.maybe_crash()
         self._buffer = []
         return io_seconds, total_bytes
 

@@ -90,6 +90,7 @@ class MorphStreamR(FTScheme):
     """The paper's engine: views at runtime, dependency-free recovery."""
 
     name = "MSR"
+    log_streams = ("msr",)
 
     def __init__(
         self,
@@ -191,8 +192,7 @@ class MorphStreamR(FTScheme):
             return False
         return partition_map.get(from_ref) == partition_map.get(to_ref)
 
-    def crash(self) -> None:
-        super().crash()
+    def _drop_volatile(self) -> None:
         # Uncommitted view segments lived in volatile memory.
         self.lm.drop_buffer()
 

@@ -22,6 +22,41 @@ class StorageError(ReproError):
     """A simulated durable-storage operation failed or was misused."""
 
 
+class TornSegmentError(StorageError):
+    """A durable segment is a prefix of what was written (torn flush).
+
+    A torn tail is the expected aftermath of a crash mid-flush: callers
+    may truncate the segment to the last consistent prefix and degrade
+    to a coarser recovery mechanism (truncate-and-continue).
+    """
+
+
+class CorruptSegmentError(StorageError):
+    """A durable segment fails its checksum (bit rot / partial-page flip).
+
+    Unlike a torn tail, corruption in the middle of retained history is
+    not survivable by truncation alone; callers fall back to a coarser
+    mechanism if one exists and otherwise must fail loudly.
+    """
+
+
+class MissingSegmentError(StorageError):
+    """A durable segment that should exist is absent (dropped flush)."""
+
+
+class ReadFaultError(StorageError):
+    """The device returned an I/O error for a read (injected EIO)."""
+
+
+class InjectedCrash(ReproError):
+    """A chaos-layer crash fired mid-epoch (simulated process death).
+
+    Raised after some-but-not-all durable writes of the current epoch
+    landed; the scheme is left in the crashed state and the caller is
+    expected to run :meth:`~repro.ft.base.FTScheme.recover`.
+    """
+
+
 class SchedulingError(ReproError):
     """The parallel executor was given an inconsistent task graph."""
 

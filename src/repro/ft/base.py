@@ -19,6 +19,29 @@ The framework guarantees the paper's failure-model obligations (§II-C):
   delivered exactly once;
 - a crash destroys everything except the :class:`~repro.storage.Disk`
   and the sink; recovery may only consult durable bytes.
+
+Beyond the paper's clean failure model (§II-C assumes the disk survives
+*consistent*), the framework hardens recovery against damaged durable
+state with a **graceful fallback ladder**:
+
+1. **fast** — the scheme's own mechanism (MSR views, WAL/DL/LV log
+   replay) for every epoch whose segments verify;
+2. **replay** — an epoch whose log segment is torn, corrupt, dropped or
+   unreadable is quarantined (truncate-and-continue) and reprocessed
+   from the durable event store, exactly like CKPT;
+3. **checkpoint ladder** — if the latest checkpoint itself is
+   unreadable, recovery walks back to the newest older checkpoint that
+   verifies (``gc_keep_checkpoints`` controls how much history GC
+   retains for this) and replays the extra epochs;
+4. only when *no* checkpoint is readable — or the event store has a
+   gap — does recovery fail loudly, re-raising the storage error.
+
+Every rung preserves exactness: a fallback reprocesses the identical
+deterministic pipeline, so recovered state still matches the serial
+ground truth.  A crash may also land *mid-epoch* (during group commit
+or checkpointing, injected via the chaos layer); the dying epoch's
+partial durable artifacts are discarded and its sealed events are
+returned to the ingress tail for reprocessing.
 """
 
 from __future__ import annotations
@@ -39,7 +62,16 @@ from repro.engine.serial import SerialOutcome
 from repro.engine.state import StateStore
 from repro.engine.tpg import TaskPrecedenceGraph, build_tpg
 from repro.engine.transactions import Transaction
-from repro.errors import ConfigError, RecoveryError, WorkloadError
+from repro.errors import (
+    ConfigError,
+    CorruptSegmentError,
+    InjectedCrash,
+    MissingSegmentError,
+    ReadFaultError,
+    RecoveryError,
+    TornSegmentError,
+    WorkloadError,
+)
 from repro.sim.clock import Machine
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.executor import ParallelExecutor
@@ -70,6 +102,26 @@ class RuntimeReport:
         return sum(self.buckets.get(b, 0.0) for b in buckets.RUNTIME_OVERHEAD_BUCKETS)
 
 
+#: Storage errors the fallback ladder may degrade through; anything
+#: else (or these, once the ladder is exhausted) fails recovery loudly.
+DEGRADABLE_ERRORS = (
+    TornSegmentError,
+    CorruptSegmentError,
+    MissingSegmentError,
+    ReadFaultError,
+)
+
+
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One rung the recovery ladder had to step down (for reports)."""
+
+    epoch_id: int
+    error: str
+    detail: str
+    rung: str = "replay"
+
+
 @dataclass
 class RecoveryReport:
     """What one recovery phase measured (feeds Figs. 2, 11, 13, 14)."""
@@ -81,6 +133,19 @@ class RecoveryReport:
     throughput_eps: float
     buckets: Dict[str, float]
     state_verified: Optional[bool] = None
+    #: rung name -> epochs recovered via that rung ("fast" = the
+    #: scheme's own mechanism, "replay" = event-reprocessing fallback).
+    ladder: Dict[str, int] = field(default_factory=dict)
+    #: per-epoch degradations, in replay order.
+    fallbacks: List[FallbackEvent] = field(default_factory=list)
+    #: the checkpoint recovery actually restored from.
+    checkpoint_epoch: Optional[int] = None
+    #: unreadable checkpoints skipped before one verified.
+    checkpoint_fallbacks: int = 0
+
+    def degraded(self) -> bool:
+        """True when any rung below the fast path was taken."""
+        return bool(self.fallbacks) or self.checkpoint_fallbacks > 0
 
 
 @dataclass(frozen=True)
@@ -158,6 +223,9 @@ class FTScheme(ABC):
     #: -log schemes (WAL/DL/LV) replay from their own logs instead and
     #: never touch the event store during recovery.
     replays_from_events = True
+    #: Log-store streams this scheme group-commits (quarantined when the
+    #: fallback ladder abandons an epoch's segments).
+    log_streams: Tuple[str, ...] = ()
 
     def __init__(
         self,
@@ -171,6 +239,8 @@ class FTScheme(ABC):
         incremental_snapshots: bool = False,
         full_snapshot_every: int = 4,
         machine: Optional[Machine] = None,
+        allow_degraded_recovery: bool = True,
+        gc_keep_checkpoints: int = 1,
     ):
         if num_workers < 1:
             raise ConfigError("num_workers must be >= 1")
@@ -180,6 +250,8 @@ class FTScheme(ABC):
             raise ConfigError("snapshot_interval must be >= 1")
         if full_snapshot_every < 1:
             raise ConfigError("full_snapshot_every must be >= 1")
+        if gc_keep_checkpoints < 1:
+            raise ConfigError("gc_keep_checkpoints must be >= 1")
         self.workload = workload
         self.store: Optional[StateStore] = workload.initial_state()
         self.num_workers = num_workers
@@ -214,6 +286,13 @@ class FTScheme(ABC):
         self._dirty_refs: set = set()
         self._deltas_since_full = 0
         self._snapshot_bytes_written = 0
+        #: ladder behaviour: degrade through DEGRADABLE_ERRORS (default)
+        #: or fail loudly on the first damaged segment (strict mode).
+        self.allow_degraded_recovery = allow_degraded_recovery
+        #: GC retains events/logs/snapshots back to the K-th newest
+        #: checkpoint, giving the checkpoint ladder somewhere to land.
+        self.gc_keep_checkpoints = gc_keep_checkpoints
+        self._snapshot_epochs: List[int] = []
         #: per-epoch observability series (volatile).
         self.epoch_stats: List[EpochStats] = []
         if self.takes_snapshots and self.disk.snapshots.latest_epoch() is None:
@@ -249,7 +328,17 @@ class FTScheme(ABC):
         start_events = self._events_processed
         while len(queue) >= self.epoch_len:
             batch, queue = queue[: self.epoch_len], queue[self.epoch_len :]
-            self._process_epoch(batch)
+            try:
+                self._process_epoch(batch)
+            except InjectedCrash:
+                # The chaos layer killed the process mid-epoch: the
+                # current epoch's durable writes are whatever landed,
+                # everything volatile is gone.  The epoch being
+                # processed never committed, so the crash point is the
+                # previous epoch; recover() discards the partial
+                # artifacts and reprocesses the sealed events.
+                self._enter_crashed_state(self._next_epoch - 1)
+                raise
         self._pending_events = queue
         return self._runtime_report(start_elapsed, start_events)
 
@@ -268,6 +357,8 @@ class FTScheme(ABC):
         )
         ctx = EpochContext(epoch_id, batch, txns, tpg, outcome, outputs)
         self._on_epoch(ctx)
+        # Crash point: a scheme's group commit may have torn mid-flush.
+        self._crash_gate()
         if self.incremental_snapshots:
             # Records this epoch wrote must be part of any checkpoint
             # taken at this epoch's boundary.
@@ -404,14 +495,28 @@ class FTScheme(ABC):
             self._snapshot_bytes_written += self._state_bytes
             self._deltas_since_full = 0
         self._dirty_refs = set()
+        # Crash point: the checkpoint flush itself may have torn — GC
+        # must not run then, or the replay sources would be lost.
+        self._crash_gate()
         # Snapshot commit waits for notifications from every executor
         # (§VI-C step 6).
         self.machine.barrier(buckets.SYNC, extra=self.costs.sync_handoff)
         # Garbage collection: events, logs and older snapshots covered
-        # by this checkpoint are reclaimed (§VI-C).
-        self.disk.events.truncate_before(epoch_id + 1)
-        self.disk.logs.truncate_before(epoch_id + 1)
-        self.disk.snapshots.truncate_before(epoch_id)
+        # by a checkpoint are reclaimed (§VI-C) — but only back to the
+        # K-th newest checkpoint, so the fallback ladder keeps an older
+        # restore point plus its replay sources if this one is damaged.
+        self._snapshot_epochs.append(epoch_id)
+        if len(self._snapshot_epochs) >= self.gc_keep_checkpoints:
+            retain = self._snapshot_epochs[-self.gc_keep_checkpoints]
+            self.disk.events.truncate_before(retain + 1)
+            self.disk.logs.truncate_before(retain + 1)
+            self.disk.snapshots.truncate_before(retain)
+
+    def _crash_gate(self) -> None:
+        """Raise :class:`InjectedCrash` if the chaos layer scheduled one."""
+        faults = getattr(self.disk, "faults", None)
+        if faults is not None:
+            faults.maybe_crash()
 
     def _charge_runtime_io(
         self, device_seconds: float, payload_bytes: int, blocking: bool = False
@@ -461,10 +566,18 @@ class FTScheme(ABC):
         """Single-node stoppage: lose everything volatile (§II-C)."""
         if self._next_epoch == 0:
             raise RecoveryError("cannot crash before any epoch was processed")
+        self._enter_crashed_state(self._next_epoch - 1)
+
+    def _enter_crashed_state(self, crash_epoch: int) -> None:
+        """Shared crash bookkeeping: everything volatile is destroyed."""
         self._crashed = True
-        self._crash_epoch = self._next_epoch - 1
+        self._crash_epoch = crash_epoch
         self.store = None
         self._pending_events = []
+        self._drop_volatile()
+
+    def _drop_volatile(self) -> None:
+        """Scheme hook: drop scheme-specific volatile buffers at a crash."""
 
     @property
     def crash_epoch(self) -> Optional[int]:
@@ -489,19 +602,22 @@ class FTScheme(ABC):
         # epoch — the crash point is then the checkpoint itself and
         # recovery only restores the snapshot plus the pending tail.
         crash_epoch = max(candidates)
-        self._crashed = True
-        self._crash_epoch = crash_epoch
         self._next_epoch = crash_epoch + 1
-        self.store = None
-        self._pending_events = []
+        self._enter_crashed_state(crash_epoch)
 
     def recover(self) -> RecoveryReport:
         """Template method: restore state to the failure point (§V-C).
 
-        Loads the latest checkpoint, then replays every lost epoch via
-        the scheme-specific :meth:`_recover_epoch`.  Epochs are replayed
-        in order with a barrier in between (the commit order of the
-        original run must be preserved across epochs).
+        Loads the newest *readable* checkpoint (walking back past
+        torn/corrupt ones), then replays every lost epoch — via the
+        scheme-specific :meth:`_recover_epoch` where its segments
+        verify, degrading to event reprocessing where they do not.
+        Epochs are replayed in order with a barrier in between (the
+        commit order of the original run must be preserved across
+        epochs).  Only when no checkpoint is readable, or the event
+        store has a gap where a fallback needs it, does recovery fail —
+        loudly, re-raising the storage error, with the scheme still in
+        the crashed state so a repaired disk can retry.
         """
         if not self._crashed:
             raise RecoveryError("recover() called without a crash")
@@ -510,32 +626,41 @@ class FTScheme(ABC):
             machine, self.costs.sync_handoff, self.costs.remote_fetch
         )
 
-        snap_epoch = self.disk.snapshots.latest_epoch()
-        if snap_epoch is None:
-            raise RecoveryError(f"{self.name}: no checkpoint available")
-        state, io_s = self.disk.snapshots.load(snap_epoch)
+        # A mid-epoch crash leaves partial durable artifacts (a torn
+        # group commit, a torn checkpoint) for the epoch that never
+        # committed; discard them — the epoch is rebuilt from its
+        # sealed events, never from debris.
+        self.disk.logs.discard_from(self._crash_epoch + 1)
+        self.disk.snapshots.discard_from(self._crash_epoch + 1)
+
+        state, snap_epoch, ckpt_fallbacks, io_s = self._load_checkpoint()
         store = StateStore()
         store.restore(state)
         machine.spend_all(buckets.RELOAD, io_s)
 
+        ladder: Dict[str, int] = {}
+        fallbacks: List[FallbackEvent] = []
         events_replayed = 0
         epochs = 0
         for epoch_id in range(snap_epoch + 1, self._crash_epoch + 1):
-            if self.replays_from_events:
-                raw, io_e = self.disk.events.read_epochs(epoch_id, epoch_id)
-                machine.spend_all(buckets.RELOAD, io_e)
-                events = [Event.from_encoded(r) for r in raw]
-            else:
-                # Command-log replay: the scheme reloads its own log
-                # records; the event store is only consulted for the
-                # epoch's event count (delivery accounting).
-                events = []
-            outputs = self._recover_epoch(machine, executor, store, epoch_id, events)
+            outputs, rung = self._recover_epoch_laddered(
+                machine, executor, store, epoch_id, fallbacks
+            )
             machine.barrier(buckets.WAIT)
             for seq, output in outputs:
                 self.sink.deliver(seq, output)
             events_replayed += self.disk.events.count_epoch(epoch_id)
             epochs += 1
+            ladder[rung] = ladder.get(rung, 0) + 1
+
+        # A mid-epoch crash sealed epochs it never finished processing:
+        # un-seal them (newest first, so arrival order is preserved)
+        # back into the ingress tail for ordinary reprocessing.
+        last_sealed = self.disk.events.last_sealed_epoch()
+        if last_sealed is not None and last_sealed > self._crash_epoch:
+            for epoch_id in range(last_sealed, self._crash_epoch, -1):
+                self.disk.events.reopen_epoch(epoch_id)
+            self._next_epoch = self._crash_epoch + 1
 
         # Restore the ingress tail: events that had arrived but were
         # still waiting for a punctuation when the node failed.  They
@@ -555,7 +680,87 @@ class FTScheme(ABC):
             elapsed_seconds=elapsed,
             throughput_eps=events_replayed / elapsed if elapsed > 0 else 0.0,
             buckets=machine.bucket_breakdown(),
+            ladder=ladder,
+            fallbacks=fallbacks,
+            checkpoint_epoch=snap_epoch,
+            checkpoint_fallbacks=ckpt_fallbacks,
         )
+
+    def _load_checkpoint(self):
+        """Checkpoint rung of the ladder: newest readable snapshot.
+
+        Returns ``(state, snap_epoch, fallbacks_taken, io_seconds)``.
+        In strict mode (``allow_degraded_recovery=False``) the first
+        unreadable checkpoint fails recovery; otherwise older
+        checkpoints are tried in turn and the last storage error is
+        re-raised only when every candidate is exhausted.
+        """
+        candidates = self.disk.snapshots.epochs_desc()
+        if not candidates:
+            raise MissingSegmentError(
+                f"{self.name}: no checkpoint available on disk"
+            )
+        fallbacks = 0
+        last_error: Optional[Exception] = None
+        for snap_epoch in candidates:
+            try:
+                state, io_s = self.disk.snapshots.load(snap_epoch)
+                return state, snap_epoch, fallbacks, io_s
+            except DEGRADABLE_ERRORS as exc:
+                if not self.allow_degraded_recovery:
+                    raise
+                last_error = exc
+                fallbacks += 1
+        raise last_error
+
+    def _read_epoch_events(self, machine: Machine, epoch_id: int) -> List[Event]:
+        raw, io_e = self.disk.events.read_epochs(epoch_id, epoch_id)
+        machine.spend_all(buckets.RELOAD, io_e)
+        return [Event.from_encoded(r) for r in raw]
+
+    def _recover_epoch_laddered(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        store: StateStore,
+        epoch_id: int,
+        fallbacks: List[FallbackEvent],
+    ) -> Tuple[List[Tuple[int, tuple]], str]:
+        """Replay one epoch via the fastest rung whose segments verify.
+
+        The fast path (the scheme's own mechanism) validates every
+        durable segment *before* mutating ``store``, so a torn, corrupt,
+        dropped or unreadable segment surfaces here with the store still
+        consistent; the epoch's segments are then quarantined and the
+        epoch is reprocessed from the durable event store (CKPT-style),
+        which preserves exactness because the pipeline is deterministic.
+        """
+        try:
+            if self.replays_from_events:
+                events = self._read_epoch_events(machine, epoch_id)
+            else:
+                # Command-log replay: the scheme reloads its own log
+                # records; the event store is only consulted for the
+                # epoch's event count (delivery accounting).
+                events = []
+            outputs = self._recover_epoch(
+                machine, executor, store, epoch_id, events
+            )
+            return outputs, "fast"
+        except DEGRADABLE_ERRORS as exc:
+            if not self.allow_degraded_recovery:
+                raise
+            for stream in self.log_streams:
+                self.disk.logs.quarantine(stream, epoch_id)
+            # Degrade: reprocess from the durable event store.  If the
+            # events themselves are missing or unreadable, this raises
+            # again and recovery fails loudly — there is no lower rung.
+            events = self._read_epoch_events(machine, epoch_id)
+            outputs = self._compute_epoch(machine, executor, store, events)[3]
+            fallbacks.append(
+                FallbackEvent(epoch_id, type(exc).__name__, str(exc))
+            )
+            return outputs, "replay"
 
     @abstractmethod
     def _recover_epoch(

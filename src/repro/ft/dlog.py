@@ -44,6 +44,7 @@ class DependencyLogging(FTScheme):
 
     name = "DL"
     replays_from_events = False
+    log_streams = ("dlog",)
 
     def _on_epoch(self, ctx: EpochContext) -> None:
         tpg = ctx.tpg

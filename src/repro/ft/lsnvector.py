@@ -39,6 +39,7 @@ class LSNVector(FTScheme):
 
     name = "LV"
     replays_from_events = False
+    log_streams = ("lv",)
 
     def _stream_of(self, txn) -> int:
         """The log stream a transaction belongs to: the worker owning

@@ -36,6 +36,7 @@ class WriteAheadLog(FTScheme):
 
     name = "WAL"
     replays_from_events = False
+    log_streams = ("wal",)
 
     def _on_epoch(self, ctx: EpochContext) -> None:
         records = [

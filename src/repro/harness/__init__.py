@@ -7,6 +7,13 @@ exactly-once outputs against the serial ground truth.
 top of it; :mod:`repro.harness.report` renders the printed tables.
 """
 
+from repro.harness.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    ChaosRun,
+    run_chaos,
+    smoke_config,
+)
 from repro.harness.runner import (
     ExperimentConfig,
     ExperimentResult,
@@ -19,4 +26,9 @@ __all__ = [
     "ExperimentResult",
     "run_experiment",
     "ground_truth",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosRun",
+    "run_chaos",
+    "smoke_config",
 ]

@@ -1,0 +1,322 @@
+"""Chaos harness: storage-fault × crash-point × scheme sweeps.
+
+Each cell of the sweep runs one full experiment under an adversarial
+storage plan: a :class:`~repro.storage.faults.FaultInjector` damages a
+durable segment (torn flush, bit flip, dropped flush, injected read
+error) and/or kills the process *mid-epoch* (during group commit or
+during checkpointing), then recovery runs and the harness verifies the
+outcome against the serial ground truth.
+
+Every cell must end in one of two documented states:
+
+- **exact** — recovered state and exactly-once outputs match the ground
+  truth, possibly via the fallback ladder (``exact-degraded`` labels the
+  runs where a lower rung was taken, with the rung counts reported);
+- **failed-loud** — recovery raised a documented
+  :class:`~repro.errors.StorageError` subclass (e.g. the checkpoint
+  itself was unreadable and no older one existed).
+
+Anything else — an undocumented exception, or worse, a *silently*
+divergent recovery — fails the sweep.  ``repro chaos`` drives this from
+the command line and exits non-zero on any such cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import SCHEMES
+from repro.errors import ConfigError, InjectedCrash, StorageError
+from repro.ft.base import DEGRADABLE_ERRORS, FTScheme, RecoveryReport
+from repro.harness.runner import ground_truth
+from repro.storage.faults import FaultInjector, FaultSpec
+from repro.storage.stores import Disk
+from repro.workloads.streaming_ledger import StreamingLedger
+
+#: Where the injected crash lands relative to the epoch lifecycle.
+CRASH_POINTS = ("boundary", "mid-commit", "mid-checkpoint")
+#: Storage damage injected alongside the crash.
+FAULT_KINDS = ("none", "torn", "bitflip", "drop", "read-error")
+
+#: Outcomes a chaos cell may legitimately end in.
+OUTCOME_EXACT = "exact"
+OUTCOME_DEGRADED = "exact-degraded"
+OUTCOME_FAILED_LOUD = "failed-loud"
+OUTCOME_UNEXPECTED = "UNEXPECTED"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos sweep: the cross product of the three axes."""
+
+    schemes: Tuple[str, ...] = ("MSR", "WAL", "DL", "LV", "CKPT")
+    fault_kinds: Tuple[str, ...] = FAULT_KINDS
+    crash_points: Tuple[str, ...] = CRASH_POINTS
+    num_workers: int = 4
+    epoch_len: int = 48
+    snapshot_interval: int = 4
+    total_epochs: int = 6
+    #: retained checkpoints — gives the checkpoint ladder a place to land.
+    gc_keep_checkpoints: int = 2
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        unknown = set(self.schemes) - set(SCHEMES)
+        if unknown:
+            raise ConfigError(f"unknown schemes: {sorted(unknown)}")
+        if "NAT" in self.schemes:
+            raise ConfigError("NAT cannot recover; chaos needs FT schemes")
+        if set(self.fault_kinds) - set(FAULT_KINDS):
+            raise ConfigError(f"fault kinds must be among {FAULT_KINDS}")
+        if set(self.crash_points) - set(CRASH_POINTS):
+            raise ConfigError(f"crash points must be among {CRASH_POINTS}")
+        if self.total_epochs <= self.snapshot_interval:
+            raise ConfigError(
+                "total_epochs must exceed snapshot_interval so the crash "
+                "loses epochs past the checkpoint"
+            )
+
+    @property
+    def num_events(self) -> int:
+        return self.epoch_len * self.total_epochs
+
+
+@dataclass
+class ChaosRun:
+    """One cell of the sweep and how it ended."""
+
+    scheme: str
+    fault: str
+    crash_point: str
+    outcome: str
+    ok: bool
+    detail: str = ""
+    #: the crash point that actually materialized (a mid-epoch crash
+    #: cannot fire for a scheme that never writes the targeted store).
+    actual_point: str = ""
+    fault_fired: bool = False
+    mid_crash: bool = False
+    #: rung name -> epochs recovered via that rung.
+    ladder: Dict[str, int] = field(default_factory=dict)
+    checkpoint_fallbacks: int = 0
+    #: virtual mean-time-to-recover (the recovery report's elapsed time).
+    mttr_seconds: float = 0.0
+
+
+@dataclass
+class ChaosReport:
+    """Sweep results plus the pass/fail verdict."""
+
+    config: ChaosConfig
+    runs: List[ChaosRun]
+
+    @property
+    def passed(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    @property
+    def failures(self) -> List[ChaosRun]:
+        return [run for run in self.runs if not run.ok]
+
+    def outcome_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for run in self.runs:
+            counts[run.outcome] = counts.get(run.outcome, 0) + 1
+        return counts
+
+
+def smoke_config(seed: int = 7) -> ChaosConfig:
+    """The reduced sweep CI runs on every push."""
+    return ChaosConfig(
+        schemes=("MSR", "WAL", "CKPT"),
+        fault_kinds=("none", "torn"),
+        crash_points=("boundary", "mid-commit"),
+        seed=seed,
+    )
+
+
+def _make_workload(cfg: ChaosConfig) -> StreamingLedger:
+    return StreamingLedger(
+        64,
+        transfer_ratio=0.6,
+        multi_partition_ratio=0.4,
+        skew=0.4,
+        forced_abort_ratio=0.05,
+        num_partitions=4,
+    )
+
+
+def _fault_specs(
+    fault_kind: str, crash_point: str, stream: Optional[str], cfg: ChaosConfig
+) -> List[FaultSpec]:
+    """Place the faults so they hit segments recovery will need.
+
+    Schemes group-commit one log segment per epoch, so the N-th log
+    write is epoch N-1's segment (1-based).  Snapshot write #1 is the
+    epoch ``-1`` initial checkpoint; #2 is the first interval
+    checkpoint.  Placement per crash point:
+
+    - ``boundary``: damage the last epoch's segment; the crash is an
+      ordinary end-of-stream stoppage and recovery must replay it.
+    - ``mid-commit``: damage the first post-checkpoint epoch's segment,
+      then crash *inside* the next epoch's group commit (that flush is
+      itself torn) — recovery discards the debris, degrades for the
+      damaged epoch, and returns the sealed-but-unprocessed epoch to
+      the ingress tail.
+    - ``mid-checkpoint``: damage an early segment, then crash inside
+      the first interval checkpoint flush — recovery must fall back to
+      the initial checkpoint and replay everything.
+    """
+    specs: List[FaultSpec] = []
+    if crash_point == "mid-commit":
+        specs.append(
+            FaultSpec(
+                "crash",
+                target="log",
+                nth=cfg.snapshot_interval + 2,
+                stream=stream,
+            )
+        )
+    elif crash_point == "mid-checkpoint":
+        specs.append(FaultSpec("crash", target="snapshot", nth=2))
+    if fault_kind == "none":
+        return specs
+    if stream is None:
+        # The scheme commits no log segments (CKPT): aim the damage at
+        # the snapshot store instead, exercising the checkpoint rung of
+        # the ladder — and, when the *only* checkpoint is hit, the
+        # fail-loud bottom rung.
+        if fault_kind == "read-error":
+            specs.append(FaultSpec("read_error", target="snapshot", nth=1))
+        elif crash_point == "mid-checkpoint":
+            # Damage the initial checkpoint; the interval checkpoint is
+            # the crash's own debris, so no readable restore point
+            # remains and recovery must fail loudly.
+            specs.append(FaultSpec(fault_kind, target="snapshot", nth=1))
+        else:
+            # Damage the interval checkpoint; the ladder walks back to
+            # the initial one and replays every epoch.
+            specs.append(FaultSpec(fault_kind, target="snapshot", nth=2))
+        return specs
+    if fault_kind == "read-error":
+        specs.append(
+            FaultSpec("read_error", target="log", nth=1, stream=stream)
+        )
+        return specs
+    if crash_point == "boundary":
+        nth = cfg.total_epochs
+    elif crash_point == "mid-commit":
+        nth = cfg.snapshot_interval + 1
+    else:  # mid-checkpoint: an epoch replayed from the older checkpoint
+        nth = 2
+    specs.append(FaultSpec(fault_kind, target="log", nth=nth, stream=stream))
+    return specs
+
+
+def _verify_exact(scheme: FTScheme, workload, events) -> Tuple[bool, str]:
+    """Recovered state + outputs vs the serial ground truth."""
+    processed = events[: scheme._events_processed]
+    expected_state, expected_outputs = ground_truth(workload, processed)
+    if not scheme.store.equals(expected_state):
+        return False, (
+            "state diverges: " + scheme.store.diff(expected_state, 3)
+        )
+    delivered = scheme.sink.outputs()
+    if delivered != expected_outputs:
+        missing = sorted(
+            set(expected_outputs).symmetric_difference(delivered)
+        )[:5]
+        return False, f"outputs diverge (seqs {missing})"
+    return True, ""
+
+
+def _run_one(
+    scheme_name: str, fault_kind: str, crash_point: str, cfg: ChaosConfig
+) -> ChaosRun:
+    workload = _make_workload(cfg)
+    events = workload.generate(cfg.num_events, cfg.seed)
+    scheme_cls = SCHEMES[scheme_name]
+    stream = scheme_cls.log_streams[0] if scheme_cls.log_streams else None
+    injector = FaultInjector(
+        _fault_specs(fault_kind, crash_point, stream, cfg), seed=cfg.seed
+    )
+    scheme = scheme_cls(
+        workload,
+        num_workers=cfg.num_workers,
+        epoch_len=cfg.epoch_len,
+        snapshot_interval=cfg.snapshot_interval,
+        disk=Disk(faults=injector),
+        gc_keep_checkpoints=cfg.gc_keep_checkpoints,
+    )
+    run = ChaosRun(
+        scheme=scheme_name,
+        fault=fault_kind,
+        crash_point=crash_point,
+        outcome=OUTCOME_UNEXPECTED,
+        ok=False,
+    )
+    try:
+        try:
+            scheme.process_stream(events)
+        except InjectedCrash:
+            run.mid_crash = True
+        if not run.mid_crash:
+            # Either a boundary scenario, or the targeted mid-epoch
+            # write never happened for this scheme (e.g. CKPT commits
+            # no log segments): stop the node at the epoch boundary.
+            scheme.crash()
+        run.actual_point = crash_point if run.mid_crash else "boundary"
+        try:
+            report = scheme.recover()
+        except StorageError as exc:
+            # The ladder was exhausted (or strict mode): recovery must
+            # fail loudly with a documented error and install nothing.
+            run.outcome = OUTCOME_FAILED_LOUD
+            run.ok = scheme.store is None
+            run.detail = f"{type(exc).__name__}: {exc}"
+            run.fault_fired = bool(injector.injected)
+            return run
+        run.mttr_seconds = report.elapsed_seconds
+        run.ladder = dict(report.ladder)
+        run.checkpoint_fallbacks = report.checkpoint_fallbacks
+        # The scenario has played out; reprocess any epochs returned to
+        # the ingress tail without further interference.
+        injector.disarm()
+        scheme.process_stream([])
+        run.fault_fired = bool(injector.injected)
+        exact, detail = _verify_exact(scheme, workload, events)
+        if not exact:
+            run.detail = f"SILENT DIVERGENCE: {detail}"
+            return run
+        run.ok = True
+        run.outcome = (
+            OUTCOME_DEGRADED if report.degraded() else OUTCOME_EXACT
+        )
+        if report.fallbacks:
+            first = report.fallbacks[0]
+            run.detail = (
+                f"epoch {first.epoch_id} via {first.rung} ({first.error})"
+            )
+        elif report.checkpoint_fallbacks:
+            run.detail = (
+                f"fell back past {report.checkpoint_fallbacks} "
+                f"checkpoint(s) to epoch {report.checkpoint_epoch}"
+            )
+    except Exception as exc:  # noqa: BLE001 — the sweep must report, not die
+        run.outcome = OUTCOME_UNEXPECTED
+        run.ok = False
+        run.detail = f"{type(exc).__name__}: {exc}"
+    return run
+
+
+def run_chaos(cfg: Optional[ChaosConfig] = None) -> ChaosReport:
+    """Run the full sweep; every cell is independent and seeded."""
+    cfg = cfg or ChaosConfig()
+    runs = [
+        _run_one(scheme, fault, point, cfg)
+        for scheme in cfg.schemes
+        for fault in cfg.fault_kinds
+        for point in cfg.crash_points
+    ]
+    return ChaosReport(config=cfg, runs=runs)

@@ -19,6 +19,14 @@ Layout::
 Writes happen before the in-memory update returns, mirroring a
 write-ahead discipline; deletes (GC) remove files.  ``open`` rebuilds
 the in-memory state purely from the files.
+
+Partial flushes are representable: a file may legitimately hold a torn
+(prefix-only) or bit-flipped segment after a crash or injected fault.
+Reopening performs an ARIES-style tail scan over each log stream — the
+*newest* segment(s) failing frame verification are truncated away (a
+torn tail is the expected debris of a crash mid-flush) and recorded in
+``truncated_tails``; unreadable segments in the middle of retained
+history are kept for the recovery fallback ladder to handle loudly.
 """
 
 from __future__ import annotations
@@ -29,14 +37,21 @@ from typing import Any, List, Optional, Tuple
 from repro.errors import StorageError
 from repro.storage.codec import decode, encode
 from repro.storage.device import StorageDevice
+from repro.storage.faults import FaultInjector
+from repro.storage.integrity import verify
 from repro.storage.stores import Disk, EventStore, LogStore, SnapshotStore
 
 
 class FileEventStore(EventStore):
     """Event store writing arrivals and epoch boundaries through to disk."""
 
-    def __init__(self, device: StorageDevice, root: Path):
-        super().__init__(device)
+    def __init__(
+        self,
+        device: StorageDevice,
+        root: Path,
+        faults: Optional[FaultInjector] = None,
+    ):
+        super().__init__(device, faults)
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         self._arrival_index = 0
@@ -76,6 +91,13 @@ class FileEventStore(EventStore):
             handle.write(f"{epoch_id} {count}\n")
         return seconds
 
+    def reopen_epoch(self, epoch_id: int) -> int:
+        count = super().reopen_epoch(epoch_id)
+        # The un-seal must itself be durable: rewrite the boundaries so
+        # a second crash does not resurrect the half-processed epoch.
+        self._rewrite_files()
+        return count
+
     def truncate_before(self, epoch_id: int) -> int:
         freed = super().truncate_before(epoch_id)
         self._rewrite_files()
@@ -102,8 +124,13 @@ class FileEventStore(EventStore):
 class FileSnapshotStore(SnapshotStore):
     """Snapshot store persisting framed blobs as files."""
 
-    def __init__(self, device: StorageDevice, root: Path):
-        super().__init__(device)
+    def __init__(
+        self,
+        device: StorageDevice,
+        root: Path,
+        faults: Optional[FaultInjector] = None,
+    ):
+        super().__init__(device, faults)
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
         for path in self._root.iterdir():
@@ -122,15 +149,27 @@ class FileSnapshotStore(SnapshotStore):
 
     def put(self, epoch_id: int, state: Any) -> float:
         seconds = super().put(epoch_id, state)
-        _kind, blob, _base = self._snapshots[epoch_id]
-        (self._root / f"{epoch_id}.full").write_bytes(blob)
+        entry = self._snapshots.get(epoch_id)
+        if entry is not None:  # a dropped flush never reaches the medium
+            (self._root / f"{epoch_id}.full").write_bytes(entry[1])
         return seconds
 
     def put_delta(self, epoch_id: int, delta: Any, base_epoch: int) -> float:
         seconds = super().put_delta(epoch_id, delta, base_epoch)
-        _kind, blob, _base = self._snapshots[epoch_id]
-        (self._root / f"{epoch_id}.delta.{base_epoch}").write_bytes(blob)
+        entry = self._snapshots.get(epoch_id)
+        if entry is not None:
+            (self._root / f"{epoch_id}.delta.{base_epoch}").write_bytes(
+                entry[1]
+            )
         return seconds
+
+    def discard_from(self, epoch_id: int) -> int:
+        before = set(self._snapshots)
+        freed = super().discard_from(epoch_id)
+        for stale in before - set(self._snapshots):
+            for path in self._root.glob(f"{stale}.*"):
+                path.unlink()
+        return freed
 
     def truncate_before(self, epoch_id: int) -> int:
         before = set(self._snapshots)
@@ -144,25 +183,76 @@ class FileSnapshotStore(SnapshotStore):
 class FileLogStore(LogStore):
     """Log store persisting framed segments as files per stream."""
 
-    def __init__(self, device: StorageDevice, root: Path):
-        super().__init__(device)
+    def __init__(
+        self,
+        device: StorageDevice,
+        root: Path,
+        faults: Optional[FaultInjector] = None,
+    ):
+        super().__init__(device, faults)
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
+        #: (stream, epoch) pairs whose segments were truncated away by
+        #: the reopen tail scan (torn flushes of the dying process).
+        self.truncated_tails: List[Tuple[str, int]] = []
         for stream_dir in self._root.iterdir():
             if not stream_dir.is_dir():
                 continue
             for path in stream_dir.glob("*.bin"):
                 epoch_id = int(path.stem)
                 self._segments[(stream_dir.name, epoch_id)] = path.read_bytes()
+        self._scan_torn_tails()
+
+    def _scan_torn_tails(self) -> None:
+        """ARIES-style tail scan: truncate trailing unreadable segments.
+
+        The newest segment of a stream may be a torn flush from the
+        crash that killed the previous process; such tails are dropped
+        (file and all) so recovery falls back cleanly.  An unreadable
+        segment *behind* a readable one is genuine corruption and is
+        kept — the fallback ladder must confront it loudly at read time.
+        """
+        streams = {stream for stream, _e in self._segments}
+        for stream in streams:
+            epochs = sorted(
+                e for s, e in self._segments if s == stream
+            )
+            for epoch_id in reversed(epochs):
+                blob = self._segments[(stream, epoch_id)]
+                try:
+                    verify(blob, f"log stream {stream!r} epoch {epoch_id}")
+                    break  # first readable segment ends the tail scan
+                except StorageError:
+                    del self._segments[(stream, epoch_id)]
+                    path = self._root / stream / f"{epoch_id}.bin"
+                    if path.exists():
+                        path.unlink()
+                    self.truncated_tails.append((stream, epoch_id))
 
     def commit_epoch(self, stream: str, epoch_id: int, records: Any) -> float:
         seconds = super().commit_epoch(stream, epoch_id, records)
-        stream_dir = self._root / stream
-        stream_dir.mkdir(parents=True, exist_ok=True)
-        (stream_dir / f"{epoch_id}.bin").write_bytes(
-            self._segments[(stream, epoch_id)]
-        )
+        blob = self._segments.get((stream, epoch_id))
+        if blob is not None:  # a dropped flush never reaches the medium
+            stream_dir = self._root / stream
+            stream_dir.mkdir(parents=True, exist_ok=True)
+            (stream_dir / f"{epoch_id}.bin").write_bytes(blob)
         return seconds
+
+    def quarantine(self, stream: str, epoch_id: int) -> int:
+        freed = super().quarantine(stream, epoch_id)
+        path = self._root / stream / f"{epoch_id}.bin"
+        if path.exists():
+            path.unlink()
+        return freed
+
+    def discard_from(self, epoch_id: int) -> int:
+        before = set(self._segments)
+        freed = super().discard_from(epoch_id)
+        for stream, stale in before - set(self._segments):
+            path = self._root / stream / f"{stale}.bin"
+            if path.exists():
+                path.unlink()
+        return freed
 
     def truncate_before(self, epoch_id: int) -> int:
         before = set(self._segments)
@@ -182,13 +272,21 @@ class FileBackedDisk(Disk):
     process-restart example and its tests.
     """
 
-    def __init__(self, root: Path, device: Optional[StorageDevice] = None):
+    def __init__(
+        self,
+        root: Path,
+        device: Optional[StorageDevice] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
         self.device = device or StorageDevice()
+        self.faults = faults
         root = Path(root)
         self.root = root
-        self.events = FileEventStore(self.device, root / "events")
-        self.snapshots = FileSnapshotStore(self.device, root / "snapshots")
-        self.logs = FileLogStore(self.device, root / "logs")
+        self.events = FileEventStore(self.device, root / "events", faults)
+        self.snapshots = FileSnapshotStore(
+            self.device, root / "snapshots", faults
+        )
+        self.logs = FileLogStore(self.device, root / "logs", faults)
 
     def last_sealed_epoch(self) -> Optional[int]:
         """The newest epoch whose events were sealed (None if none)."""

@@ -14,15 +14,24 @@ All payloads pass through :mod:`repro.storage.codec`; a store holds only
 bytes, and readers decode.  A simulated crash destroys every in-memory
 component *except* these stores.  Each mutating/reading call returns the
 virtual seconds the device charged so callers can bill a core.
+
+Every store optionally routes its flushes and fetches through a
+:class:`~repro.storage.faults.FaultInjector` (the chaos layer): a flush
+may land torn, bit-flipped or not at all, and a fetch may fail with an
+injected EIO.  Stores never hide the damage — framed segments fail
+:func:`~repro.storage.integrity.verify` at read time with the stream
+and segment named, and the recovery fallback ladder decides what rung
+to degrade to.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import StorageError
+from repro.errors import MissingSegmentError, StorageError
 from repro.storage.codec import decode, encode
 from repro.storage.device import StorageDevice
+from repro.storage.faults import FaultInjector
 from repro.storage.integrity import protect, verify
 
 
@@ -37,11 +46,16 @@ class EventStore:
 
     Recovery reads sealed epochs by id and can also fetch the pending
     tail (arrived but never processed) to resume exactly where the
-    stream stopped.
+    stream stopped.  A mid-epoch crash leaves its epoch sealed but never
+    processed; :meth:`reopen_epoch` un-seals it so the events re-enter
+    the pending tail and are reprocessed like fresh input.
     """
 
-    def __init__(self, device: StorageDevice):
+    def __init__(
+        self, device: StorageDevice, faults: Optional[FaultInjector] = None
+    ):
         self._device = device
+        self._faults = faults
         #: sealed epoch -> encoded event payloads, in arrival order.
         self._epochs: Dict[int, List[Any]] = {}
         #: arrived but not yet sealed into an epoch.
@@ -70,27 +84,55 @@ class EventStore:
         boundary = encode((epoch_id, count))
         return self._device.write(len(boundary))
 
+    def reopen_epoch(self, epoch_id: int) -> int:
+        """Un-seal the *newest* sealed epoch back into the pending tail.
+
+        Used after a mid-epoch crash: the dying process sealed the
+        epoch's boundary but never finished processing it, so recovery
+        returns its events to the ingress buffer for reprocessing.
+        Only the tail epoch may be reopened (older epochs committed).
+        Returns the number of events returned to the buffer.
+        """
+        payloads = self._epochs.get(epoch_id)
+        if payloads is None:
+            raise MissingSegmentError(f"no events sealed for epoch {epoch_id}")
+        if epoch_id != max(self._epochs):
+            raise StorageError(
+                f"cannot reopen epoch {epoch_id}: only the newest sealed "
+                "epoch may be returned to the ingress tail"
+            )
+        del self._epochs[epoch_id]
+        self._pending = list(payloads) + self._pending
+        return len(payloads)
+
     def count_epoch(self, epoch_id: int) -> int:
         """Number of events sealed into one epoch (boundary metadata —
         no payload read is charged)."""
         try:
             return len(self._epochs[epoch_id])
         except KeyError:
-            raise StorageError(f"no events sealed for epoch {epoch_id}") from None
+            raise MissingSegmentError(
+                f"no events sealed for epoch {epoch_id}"
+            ) from None
 
     def read_epochs(self, first_epoch: int, last_epoch: int) -> Tuple[List[Any], float]:
         """Read back events of epochs ``first..last`` inclusive.
 
-        Returns ``(events, io_seconds)``.  Missing epochs are an error —
-        events are persisted before processing, so a gap means the store
-        was misused.
+        Returns ``(events, io_seconds)``.  Missing epochs raise
+        :class:`MissingSegmentError` — events are persisted before
+        processing, so a gap means they were garbage-collected (or the
+        store was misused) and no coarser replay source exists.
         """
         events: List[Any] = []
         seconds = 0.0
         for epoch_id in range(first_epoch, last_epoch + 1):
             payloads = self._epochs.get(epoch_id)
             if payloads is None:
-                raise StorageError(f"no events sealed for epoch {epoch_id}")
+                raise MissingSegmentError(
+                    f"no events sealed for epoch {epoch_id}"
+                )
+            if self._faults is not None:
+                self._faults.on_read("events", f"event epoch {epoch_id}")
             seconds += self._device.read(len(encode(payloads)))
             events.extend(payloads)
         return events, seconds
@@ -143,16 +185,30 @@ class SnapshotStore:
     _FULL = "full"
     _DELTA = "delta"
 
-    def __init__(self, device: StorageDevice):
+    def __init__(
+        self, device: StorageDevice, faults: Optional[FaultInjector] = None
+    ):
         self._device = device
+        self._faults = faults
         #: epoch -> (kind, framed blob, base epoch or None).
         self._snapshots: Dict[int, Tuple[str, bytes, Optional[int]]] = {}
+
+    def _write(self, epoch_id: int, entry: Tuple[str, bytes, Optional[int]]) -> float:
+        kind, blob, base = entry
+        if self._faults is not None:
+            landed = self._faults.on_write(
+                "snapshot", f"{kind} snapshot epoch {epoch_id}", blob
+            )
+            if landed is None:  # dropped flush: nothing reaches the medium
+                return self._device.write(len(blob))
+            entry = (kind, landed, base)
+        self._snapshots[epoch_id] = entry
+        return self._device.write(len(blob))
 
     def put(self, epoch_id: int, state: Any) -> float:
         """Persist a full snapshot taken at the end of ``epoch_id``."""
         blob = protect(encode(state))
-        self._snapshots[epoch_id] = (self._FULL, blob, None)
-        return self._device.write(len(blob))
+        return self._write(epoch_id, (self._FULL, blob, None))
 
     def put_delta(self, epoch_id: int, delta: Any, base_epoch: int) -> float:
         """Persist a delta over the checkpoint at ``base_epoch``.
@@ -167,12 +223,16 @@ class SnapshotStore:
         if epoch_id <= base_epoch:
             raise StorageError("delta must come after its base")
         blob = protect(encode(delta))
-        self._snapshots[epoch_id] = (self._DELTA, blob, base_epoch)
-        return self._device.write(len(blob))
+        return self._write(epoch_id, (self._DELTA, blob, base_epoch))
 
     def latest_epoch(self) -> Optional[int]:
         """Epoch of the most recent snapshot, or ``None`` if none exists."""
         return max(self._snapshots) if self._snapshots else None
+
+    def epochs_desc(self) -> List[int]:
+        """Every checkpointed epoch, newest first (the fallback ladder's
+        candidate order when the latest checkpoint is unreadable)."""
+        return sorted(self._snapshots, reverse=True)
 
     def is_delta(self, epoch_id: int) -> bool:
         entry = self._snapshots.get(epoch_id)
@@ -182,12 +242,12 @@ class SnapshotStore:
         """The full-snapshot anchor of the chain ending at ``epoch_id``."""
         entry = self._snapshots.get(epoch_id)
         if entry is None:
-            raise StorageError(f"no snapshot for epoch {epoch_id}")
+            raise MissingSegmentError(f"no snapshot for epoch {epoch_id}")
         while entry[0] == self._DELTA:
             epoch_id = entry[2]
             entry = self._snapshots.get(epoch_id)
             if entry is None:
-                raise StorageError(
+                raise MissingSegmentError(
                     f"broken delta chain: base epoch {epoch_id} missing"
                 )
         return epoch_id
@@ -199,14 +259,14 @@ class SnapshotStore:
         their full anchor and reapply each delta, charging I/O for every
         segment touched.  Returns ``(state, io_seconds)``.
         """
-        chain: List[Tuple[str, bytes]] = []
+        chain: List[Tuple[str, bytes, int]] = []
         cursor: Optional[int] = epoch_id
         while cursor is not None:
             entry = self._snapshots.get(cursor)
             if entry is None:
-                raise StorageError(f"no snapshot for epoch {cursor}")
+                raise MissingSegmentError(f"no snapshot for epoch {cursor}")
             kind, blob, base = entry
-            chain.append((kind, blob))
+            chain.append((kind, blob, cursor))
             if kind == self._FULL:
                 break
             cursor = base
@@ -215,15 +275,31 @@ class SnapshotStore:
 
         seconds = 0.0
         state: Any = None
-        for kind, blob in reversed(chain):
+        for kind, blob, seg_epoch in reversed(chain):
+            context = f"{kind} snapshot epoch {seg_epoch}"
+            if self._faults is not None:
+                self._faults.on_read("snapshot", context)
             seconds += self._device.read(len(blob))
-            payload = decode(verify(blob))
+            payload = decode(verify(blob, context))
             if kind == self._FULL:
                 state = payload
             else:
                 for table, records in payload.items():
                     state.setdefault(table, {}).update(records)
         return state, seconds
+
+    def discard_from(self, epoch_id: int) -> int:
+        """Drop checkpoints at or after ``epoch_id`` (mid-epoch crash
+        leftovers: a torn snapshot of an epoch that never committed).
+
+        Deltas only chain backwards, so discarding a suffix never breaks
+        a surviving chain.  Returns bytes dropped.
+        """
+        doomed = [e for e in self._snapshots if e >= epoch_id]
+        freed = 0
+        for e in doomed:
+            freed += len(self._snapshots.pop(e)[1])
+        return freed
 
     def truncate_before(self, epoch_id: int) -> int:
         """Reclaim checkpoints older than ``epoch_id``.
@@ -260,8 +336,11 @@ class LogStore:
     pair is one group-committed segment.
     """
 
-    def __init__(self, device: StorageDevice):
+    def __init__(
+        self, device: StorageDevice, faults: Optional[FaultInjector] = None
+    ):
         self._device = device
+        self._faults = faults
         self._segments: Dict[Tuple[str, int], bytes] = {}
 
     def commit_epoch(self, stream: str, epoch_id: int, records: Any) -> float:
@@ -272,7 +351,16 @@ class LogStore:
                 f"log stream {stream!r} epoch {epoch_id} already committed"
             )
         blob = protect(encode(records))
-        self._segments[key] = blob
+        landed: Optional[bytes] = blob
+        if self._faults is not None:
+            landed = self._faults.on_write(
+                "log",
+                f"log stream {stream!r} epoch {epoch_id}",
+                blob,
+                stream=stream,
+            )
+        if landed is not None:
+            self._segments[key] = landed
         return self._device.write(len(blob))
 
     def has_epoch(self, stream: str, epoch_id: int) -> bool:
@@ -282,11 +370,14 @@ class LogStore:
         """Decode one committed segment; returns (records, io_seconds)."""
         blob = self._segments.get((stream, epoch_id))
         if blob is None:
-            raise StorageError(
+            raise MissingSegmentError(
                 f"log stream {stream!r} has no committed epoch {epoch_id}"
             )
+        context = f"log stream {stream!r} epoch {epoch_id}"
+        if self._faults is not None:
+            self._faults.on_read("log", context, stream=stream)
         seconds = self._device.read(len(blob))
-        return decode(verify(blob)), seconds
+        return decode(verify(blob, context)), seconds
 
     def read_epochs(
         self, stream: str, first_epoch: int, last_epoch: int
@@ -304,6 +395,25 @@ class LogStore:
                 seconds += io_s
                 out.append(records)
         return out, seconds
+
+    def quarantine(self, stream: str, epoch_id: int) -> int:
+        """Drop one unreadable segment (ladder truncate-and-continue).
+
+        Called when recovery detected a torn/corrupt segment and fell
+        back to a coarser mechanism for the epoch: the bad bytes must
+        not trip a retry.  Returns bytes dropped (0 if absent).
+        """
+        blob = self._segments.pop((stream, epoch_id), None)
+        return len(blob) if blob is not None else 0
+
+    def discard_from(self, epoch_id: int) -> int:
+        """Drop every stream's segments at or after ``epoch_id``
+        (mid-epoch crash leftovers of epochs that never committed)."""
+        doomed = [key for key in self._segments if key[1] >= epoch_id]
+        freed = 0
+        for key in doomed:
+            freed += len(self._segments.pop(key))
+        return freed
 
     def truncate_before(self, epoch_id: int) -> int:
         stale = [key for key in self._segments if key[1] < epoch_id]
@@ -323,13 +433,19 @@ class LogStore:
 
 
 class Disk:
-    """Convenience bundle: one device shared by the three stores."""
+    """Convenience bundle: one device (and fault plan) shared by the
+    three stores."""
 
-    def __init__(self, device: Optional[StorageDevice] = None):
+    def __init__(
+        self,
+        device: Optional[StorageDevice] = None,
+        faults: Optional[FaultInjector] = None,
+    ):
         self.device = device or StorageDevice()
-        self.events = EventStore(self.device)
-        self.snapshots = SnapshotStore(self.device)
-        self.logs = LogStore(self.device)
+        self.faults = faults
+        self.events = EventStore(self.device, faults)
+        self.snapshots = SnapshotStore(self.device, faults)
+        self.logs = LogStore(self.device, faults)
 
     @property
     def bytes_stored(self) -> int:

@@ -14,13 +14,13 @@ from tests.conftest import serial_ground_truth
 
 
 class TestFailedRecoveryIsRetryable:
-    def test_corrupt_log_aborts_recovery_without_installing_state(self, gs):
+    @staticmethod
+    def _crashed_wal_with_corrupt_segment(gs, events, **kwargs):
         from repro.ft.wal import STREAM, WriteAheadLog
 
         scheme = WriteAheadLog(
-            gs, num_workers=3, epoch_len=50, snapshot_interval=3
+            gs, num_workers=3, epoch_len=50, snapshot_interval=3, **kwargs
         )
-        events = gs.generate(350, seed=0)
         scheme.process_stream(events)
         scheme.crash()
         # Corrupt the WAL segment recovery will need (epoch 6).
@@ -29,15 +29,41 @@ class TestFailedRecoveryIsRetryable:
         corrupted = bytearray(kind_blob)
         corrupted[-3] ^= 0x20
         scheme.disk.logs._segments[key] = bytes(corrupted)
+        return scheme, key, kind_blob
+
+    def test_corrupt_log_degrades_to_event_replay(self, gs):
+        """Default mode: the fallback ladder quarantines the corrupt
+        segment, reprocesses the epoch from the event store, and still
+        recovers the exact serial state."""
+        events = gs.generate(350, seed=0)
+        scheme, key, _blob = self._crashed_wal_with_corrupt_segment(gs, events)
+        report = scheme.recover()
+        expected, _txns, _outcome = serial_ground_truth(gs, events)
+        assert scheme.store.equals(expected)
+        assert report.degraded()
+        assert report.ladder.get("replay", 0) == 1
+        assert [f.epoch_id for f in report.fallbacks] == [6]
+        assert report.fallbacks[0].error == "CorruptSegmentError"
+        # The bad segment was quarantined, not left to trip a retry.
+        assert key not in scheme.disk.logs._segments
+
+    def test_strict_mode_aborts_recovery_without_installing_state(self, gs):
+        """allow_degraded_recovery=False restores the fail-loud contract:
+        recovery raises, installs nothing, and a repaired disk retries."""
+        events = gs.generate(350, seed=0)
+        scheme, key, kind_blob = self._crashed_wal_with_corrupt_segment(
+            gs, events, allow_degraded_recovery=False
+        )
         with pytest.raises(StorageError):
             scheme.recover()
         # The scheme is still in the crashed state, store not installed.
         assert scheme.store is None
         # Repair the disk and retry: recovery succeeds exactly.
         scheme.disk.logs._segments[key] = kind_blob
-        scheme.recover()
+        report = scheme.recover()
         expected, _txns, _outcome = serial_ground_truth(gs, events)
         assert scheme.store.equals(expected)
+        assert not report.degraded()
 
     def test_second_recover_after_success_is_rejected(self, gs):
         scheme = GlobalCheckpoint(
