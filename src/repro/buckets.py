@@ -18,8 +18,10 @@ ABORT = "abort"
 EXPLORE = "explore"
 #: Synchronization, including waiting due to load imbalance.
 WAIT = "wait"
+#: Detecting a dead recovery worker and re-dispatching its chains.
+REASSIGN = "reassign"
 
-RECOVERY_BUCKETS = (RELOAD, EXECUTE, CONSTRUCT, ABORT, EXPLORE, WAIT)
+RECOVERY_BUCKETS = (RELOAD, EXECUTE, CONSTRUCT, ABORT, EXPLORE, WAIT, REASSIGN)
 
 # --- runtime (Fig. 12d) -----------------------------------------------------
 #: Serializing and persisting log records / snapshots / events.

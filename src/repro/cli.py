@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro import SCHEMES
@@ -104,6 +105,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="reduced sweep (3 schemes × 2 faults × 2 crash points) for CI",
     )
     chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="export the full sweep (per-cell ladder histogram, "
+        "re-assignment counters, wasted-work ratios) as JSON",
+    )
 
     cal = sub.add_parser(
         "calibrate",
@@ -350,18 +359,32 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from repro.harness.chaos import ChaosConfig, run_chaos, smoke_config
+    from repro.harness.chaos import (
+        ChaosConfig,
+        chaos_payload,
+        run_chaos,
+        smoke_config,
+    )
+    from repro.harness.export import write_json
 
     cfg = (
         smoke_config(seed=args.seed)
         if args.smoke
         else replace(ChaosConfig(), seed=args.seed)
     )
-    cells = len(cfg.schemes) * len(cfg.fault_kinds) * len(cfg.crash_points)
+    grid = len(cfg.schemes) * len(cfg.fault_kinds) * len(cfg.crash_points)
+    recovery_cells = sum(
+        len(cfg.recovery_crash_points)
+        - (1 if "recovery.chain" in cfg.recovery_crash_points
+           and scheme != "MSR" else 0)
+        + (1 if cfg.nested_crash and cfg.recovery_crash_points else 0)
+        for scheme in cfg.schemes
+    )
+    worker_cells = len(cfg.schemes) * len(cfg.worker_faults)
     print(
-        f"chaos sweep: {len(cfg.schemes)} schemes × "
-        f"{len(cfg.fault_kinds)} faults × {len(cfg.crash_points)} crash "
-        f"points = {cells} cells (seed {cfg.seed}) ..."
+        f"chaos sweep: {grid} storage-fault cells + {worker_cells} "
+        f"worker-failure cells + {recovery_cells} crash-during-recovery "
+        f"cells (seed {cfg.seed}) ..."
     )
     report = run_chaos(cfg)
     rows = []
@@ -370,19 +393,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             " ".join(f"{r}:{n}" for r, n in sorted(run.ladder.items()))
             or "-"
         )
+        reassign = (
+            f"{run.reassign_rounds}r/{run.tasks_reassigned}t"
+            if run.reassign_rounds
+            else "-"
+        )
+        wasted = (
+            f"{run.wasted_ratio:.0%}" if run.wasted_ratio else "-"
+        )
         rows.append(
             [
                 "OK" if run.ok else "FAIL",
                 run.scheme,
                 run.fault,
                 run.crash_point,
-                run.actual_point or "-",
                 run.outcome,
                 ladder,
+                str(run.attempts) if run.attempts > 1 else "-",
+                reassign,
+                wasted,
                 format_seconds(run.mttr_seconds)
                 if run.mttr_seconds
                 else "-",
-                run.detail[:60],
+                run.detail[:48],
             ]
         )
     print_figure(
@@ -393,15 +426,20 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 "scheme",
                 "fault",
                 "point",
-                "actual",
                 "outcome",
                 "ladder",
+                "tries",
+                "reassign",
+                "wasted",
                 "MTTR",
                 "detail",
             ],
             rows,
         ),
     )
+    if args.json is not None:
+        write_json(args.json, chaos_payload(report))
+        print(f"\nexported {len(report.runs)} cells to {args.json}")
     counts = report.outcome_counts()
     summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
     if report.passed:

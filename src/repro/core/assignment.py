@@ -6,14 +6,32 @@ operation count.  Tasks are sorted by weight (descending) and each is
 assigned to the worker with the minimum accumulated load — the classic
 longest-processing-time-first greedy, whose makespan is within 4/3 of
 optimal.  The tests check the 2x-lower-bound guarantee.
+
+Recovery itself can lose workers (a recovery worker dies or straggles
+mid-replay); :func:`lpt_reassign` re-balances only the *residual*
+weights — chains not yet finished — onto the surviving workers,
+preserving completed work.  The same LPT guarantee then holds for the
+residual schedule over the survivors.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Tuple
+import math
+from typing import Collection, List, Sequence, Tuple
 
 from repro.errors import ConfigError
+
+
+def _check_weights(weights: Sequence[float]) -> None:
+    """Reject weights that would silently poison the heap ordering."""
+    for i, w in enumerate(weights):
+        if isinstance(w, float) and math.isnan(w):
+            raise ConfigError(f"task weight {i} is NaN")
+        if math.isinf(w):
+            raise ConfigError(f"task weight {i} is infinite")
+        if w < 0:
+            raise ConfigError("task weights must be >= 0")
 
 
 def lpt_assign(
@@ -22,16 +40,18 @@ def lpt_assign(
     """Assign ``weights[i]`` to a worker; returns (assignment, loads).
 
     Deterministic: equal-weight tasks keep index order, equal-load
-    workers break ties on worker id.
+    workers break ties on worker id.  When there are more workers than
+    tasks only the first ``len(weights)`` workers enter the heap (the
+    rest can never receive a task, so seeding them would be pure churn);
+    ``loads`` still has one entry per worker.
     """
     if num_workers < 1:
         raise ConfigError("num_workers must be >= 1")
-    for w in weights:
-        if w < 0:
-            raise ConfigError("task weights must be >= 0")
+    _check_weights(weights)
     assignment = [0] * len(weights)
     loads = [0.0] * num_workers
-    heap: List[Tuple[float, int]] = [(0.0, wid) for wid in range(num_workers)]
+    active = min(num_workers, len(weights))
+    heap: List[Tuple[float, int]] = [(0.0, wid) for wid in range(active)]
     heapq.heapify(heap)
     order = sorted(range(len(weights)), key=lambda i: (-weights[i], i))
     for i in order:
@@ -41,6 +61,64 @@ def lpt_assign(
         loads[wid] = load
         heapq.heappush(heap, (load, wid))
     return assignment, loads
+
+
+def lpt_reassign(
+    weights: Sequence[float],
+    assignment: Sequence[int],
+    completed: Collection[int],
+    dead_workers: Collection[int],
+    num_workers: int,
+) -> Tuple[List[int], List[float]]:
+    """Re-balance unfinished tasks onto surviving workers.
+
+    ``weights[i]`` was originally pinned to ``assignment[i]``; the
+    workers in ``dead_workers`` have failed.  Tasks in ``completed``
+    keep their original assignment (their work is done and must not be
+    re-executed); every *residual* task — finished or not, on a dead or
+    surviving worker — is LPT-scheduled afresh across the survivors, so
+    the residual makespan inherits the LPT guarantee over the reduced
+    machine.  Returns ``(new_assignment, residual_loads)`` where
+    ``residual_loads`` has one entry per worker (zero for dead workers
+    and for workers holding only completed tasks).
+    """
+    if num_workers < 1:
+        raise ConfigError("num_workers must be >= 1")
+    if len(assignment) != len(weights):
+        raise ConfigError(
+            f"assignment has {len(assignment)} entries for "
+            f"{len(weights)} weights"
+        )
+    _check_weights(weights)
+    dead = set(dead_workers)
+    for wid in dead:
+        if not 0 <= wid < num_workers:
+            raise ConfigError(f"dead worker {wid} out of range")
+    for i, wid in enumerate(assignment):
+        if not 0 <= wid < num_workers:
+            raise ConfigError(f"task {i} assigned to unknown worker {wid}")
+    survivors = [w for w in range(num_workers) if w not in dead]
+    if not survivors:
+        raise ConfigError("no surviving workers to re-assign onto")
+    done = set(completed)
+    residual = [i for i in range(len(weights)) if i not in done]
+
+    new_assignment = list(assignment)
+    loads = [0.0] * num_workers
+    active = min(len(survivors), len(residual))
+    heap: List[Tuple[float, int]] = [
+        (0.0, pos) for pos in range(active)
+    ]
+    heapq.heapify(heap)
+    order = sorted(residual, key=lambda i: (-weights[i], i))
+    for i in order:
+        load, pos = heapq.heappop(heap)
+        wid = survivors[pos]
+        new_assignment[i] = wid
+        load += weights[i]
+        loads[wid] = load
+        heapq.heappush(heap, (load, pos))
+    return new_assignment, loads
 
 
 def round_robin_assign(

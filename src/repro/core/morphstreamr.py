@@ -384,6 +384,7 @@ class MorphStreamR(FTScheme):
 
         for bundle_index, bundle in enumerate(bundles):
             worker = assignment[bundle_index]
+            bundle_ops = 0
             local_deps = {
                 op.uid: restructured.local_deps[op.uid]
                 for chain in bundle
@@ -436,8 +437,18 @@ class MorphStreamR(FTScheme):
                         + costs.udf,
                         bucket=buckets.EXECUTE,
                         extra=extra,
+                        # Bundles are the re-assignment unit: if this
+                        # worker dies, the whole bundle moves to one
+                        # survivor, keeping chain order intact.
+                        group=bundle_index,
                     )
                 )
+                bundle_ops += 1
+            if bundle_ops:
+                # Per-chain progress watermark + the `recovery.chain`
+                # crash point (a recovery worker can die between
+                # bundles of the in-flight epoch).
+                self._mark_chain_progress(segment.epoch_id)
 
         executor.run(tasks)
         for ref, value in chain_cursor.items():

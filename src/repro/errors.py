@@ -69,5 +69,16 @@ class RecoveryError(ReproError):
     """Failure recovery could not restore a consistent state."""
 
 
+class ReassignmentError(RecoveryError):
+    """Recovery lost workers faster than it could re-assign their work.
+
+    Raised when the bounded retry/backoff budget for re-assigning a dead
+    recovery worker's unfinished chains is exhausted, or when no
+    surviving worker remains.  The durable recovery-progress watermark
+    is left intact, so a retry on healthy workers resumes rather than
+    restarting from scratch.
+    """
+
+
 class WorkloadError(ReproError):
     """A workload generator was asked for an impossible configuration."""

@@ -74,7 +74,12 @@ from repro.errors import (
 )
 from repro.sim.clock import Machine
 from repro.sim.costs import DEFAULT_COSTS, CostModel
-from repro.sim.executor import ParallelExecutor
+from repro.sim.executor import (
+    ParallelExecutor,
+    ResilientExecutor,
+    WorkerFault,
+    WorkerFaultPlan,
+)
 from repro.storage.codec import encode
 from repro.storage.stores import Disk
 
@@ -142,6 +147,31 @@ class RecoveryReport:
     checkpoint_epoch: Optional[int] = None
     #: unreadable checkpoints skipped before one verified.
     checkpoint_fallbacks: int = 0
+    #: this run resumed from a durable progress watermark.
+    resumed: bool = False
+    #: first epoch this run actually replayed when resuming (None when
+    #: the run started from the checkpoint).
+    resumed_from_epoch: Optional[int] = None
+    #: progress watermarks persisted across all attempts of this crash.
+    watermark_saves: int = 0
+    #: re-assignment rounds the resilient executor ran (worker deaths).
+    reassign_rounds: int = 0
+    #: tasks moved off dead workers onto survivors.
+    tasks_reassigned: int = 0
+    #: workers whose death affected the schedule.
+    dead_workers: Tuple[int, ...] = ()
+    #: partial task execution lost to worker deaths (virtual seconds).
+    wasted_task_seconds: float = 0.0
+    #: events replayed by crashed attempts and replayed again because no
+    #: watermark covered them (cumulative across attempts).
+    wasted_events: int = 0
+    #: chains re-executed inside the idempotently re-run in-flight epoch.
+    wasted_chains: int = 0
+    #: recover() invocations for this crash, including this one.
+    attempts: int = 1
+    #: virtual seconds across *all* attempts of this crash, including
+    #: the time crashed attempts burned before dying (true MTTR).
+    elapsed_total_seconds: float = 0.0
 
     def degraded(self) -> bool:
         """True when any rung below the fast path was taken."""
@@ -241,6 +271,11 @@ class FTScheme(ABC):
         machine: Optional[Machine] = None,
         allow_degraded_recovery: bool = True,
         gc_keep_checkpoints: int = 1,
+        recovery_faults: Sequence[WorkerFault] = (),
+        reassign_budget: int = 3,
+        reassign_backoff: float = 1e-5,
+        resumable_recovery: bool = True,
+        watermark_every: int = 1,
     ):
         if num_workers < 1:
             raise ConfigError("num_workers must be >= 1")
@@ -252,6 +287,8 @@ class FTScheme(ABC):
             raise ConfigError("full_snapshot_every must be >= 1")
         if gc_keep_checkpoints < 1:
             raise ConfigError("gc_keep_checkpoints must be >= 1")
+        if watermark_every < 1:
+            raise ConfigError("watermark_every must be >= 1")
         self.workload = workload
         self.store: Optional[StateStore] = workload.initial_state()
         self.num_workers = num_workers
@@ -295,6 +332,26 @@ class FTScheme(ABC):
         self._snapshot_epochs: List[int] = []
         #: per-epoch observability series (volatile).
         self.epoch_stats: List[EpochStats] = []
+        #: worker faults injected into recovery runs (the recovery
+        #: machinery's own failures; validated against num_workers here
+        #: so a bad plan fails at construction, not mid-recovery).
+        self.recovery_faults: List[WorkerFault] = list(recovery_faults)
+        WorkerFaultPlan(self.recovery_faults, num_workers)
+        self.reassign_budget = reassign_budget
+        self.reassign_backoff = reassign_backoff
+        #: persist recovery-progress watermarks so a crash mid-recovery
+        #: resumes instead of restarting from scratch.
+        self.resumable_recovery = resumable_recovery
+        self.watermark_every = watermark_every
+        self._recovery_machine: Optional[Machine] = None
+        self._last_watermark_state: Optional[Dict] = None
+        self._recovery_seconds_burned = 0.0
+        self._recovery_attempts = 0
+        self._watermark_saves = 0
+        self._unwatermarked_events = 0
+        self._wasted_recovery_events = 0
+        self._wasted_recovery_chains = 0
+        self._chains_done_in_flight = 0
         if self.takes_snapshots and self.disk.snapshots.latest_epoch() is None:
             # Epoch -1 snapshot: the initial state, so recovery always
             # has a base even if the crash precedes the first interval.
@@ -574,6 +631,18 @@ class FTScheme(ABC):
         self._crash_epoch = crash_epoch
         self.store = None
         self._pending_events = []
+        # A fresh crash starts a fresh recovery history.  The durable
+        # progress watermark is NOT touched: it either belongs to this
+        # crash (process death during a previous recovery attempt, e.g.
+        # a reopened file-backed disk) or is rejected at load time.
+        self._recovery_attempts = 0
+        self._watermark_saves = 0
+        self._unwatermarked_events = 0
+        self._wasted_recovery_events = 0
+        self._wasted_recovery_chains = 0
+        self._chains_done_in_flight = 0
+        self._last_watermark_state = None
+        self._recovery_seconds_burned = 0.0
         self._drop_volatile()
 
     def _drop_volatile(self) -> None:
@@ -618,40 +687,142 @@ class FTScheme(ABC):
         store has a gap where a fallback needs it, does recovery fail —
         loudly, re-raising the storage error, with the scheme still in
         the crashed state so a repaired disk can retry.
+
+        Recovery survives failures of its own machinery:
+
+        - ``recovery_faults`` inject worker deaths/stragglers into the
+          replay; lost chains are LPT-re-balanced onto survivors by the
+          :class:`ResilientExecutor` within ``reassign_budget`` rounds,
+          after which :class:`~repro.errors.ReassignmentError` is
+          raised with the scheme still crashed (and the watermark
+          intact, so a retry on healthy workers resumes).
+        - With ``resumable_recovery``, a durable progress watermark is
+          persisted every ``watermark_every`` replayed epochs; a crash
+          mid-recovery (``recovery.*`` crash points, injected via the
+          chaos layer) loses only the un-watermarked suffix, which the
+          next ``recover()`` call re-executes idempotently — the sink
+          deduplicates re-delivered outputs and the deterministic
+          pipeline reproduces identical state.  Nested crashes simply
+          repeat the argument from the newest surviving watermark, so
+          any finite number of failures converges.
         """
         if not self._crashed:
             raise RecoveryError("recover() called without a crash")
         machine = Machine(self.num_workers)
-        executor = ParallelExecutor(
-            machine, self.costs.sync_handoff, self.costs.remote_fetch
+        plan = (
+            WorkerFaultPlan(self.recovery_faults, self.num_workers)
+            if self.recovery_faults
+            else None
         )
+        executor = ResilientExecutor(
+            machine,
+            self.costs.sync_handoff,
+            self.costs.remote_fetch,
+            fault_plan=plan,
+            reassign_budget=self.reassign_budget,
+            reassign_backoff=self.reassign_backoff,
+        )
+        self._recovery_attempts += 1
+        self._recovery_machine = machine
+        try:
+            return self._recover(machine, executor, plan)
+        except InjectedCrash:
+            # The recovering process itself died.  Everything replayed
+            # since the last watermark must be replayed again by the
+            # next attempt — account it as wasted re-execution.
+            self._wasted_recovery_events += self._unwatermarked_events
+            self._unwatermarked_events = 0
+            self._recovery_seconds_burned += machine.elapsed()
+            raise
+        finally:
+            self._recovery_machine = None
 
+    def _recover(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        plan: Optional[WorkerFaultPlan],
+    ) -> RecoveryReport:
         # A mid-epoch crash leaves partial durable artifacts (a torn
         # group commit, a torn checkpoint) for the epoch that never
         # committed; discard them — the epoch is rebuilt from its
-        # sealed events, never from debris.
+        # sealed events, never from debris.  Idempotent across attempts.
         self.disk.logs.discard_from(self._crash_epoch + 1)
         self.disk.snapshots.discard_from(self._crash_epoch + 1)
-
-        state, snap_epoch, ckpt_fallbacks, io_s = self._load_checkpoint()
-        store = StateStore()
-        store.restore(state)
-        machine.spend_all(buckets.RELOAD, io_s)
 
         ladder: Dict[str, int] = {}
         fallbacks: List[FallbackEvent] = []
         events_replayed = 0
         epochs = 0
-        for epoch_id in range(snap_epoch + 1, self._crash_epoch + 1):
+        ckpt_fallbacks = 0
+        resumed = False
+        resumed_from: Optional[int] = None
+        store = StateStore()
+
+        progress = self._load_progress(machine)
+        if progress is not None:
+            # Resume: the partially-recovered state and all bookkeeping
+            # come from the watermark of the crashed previous attempt.
+            store.restore(progress["state"])
+            self._last_watermark_state = progress["state"]
+            snap_epoch = progress["snap_epoch"]
+            start_epoch = progress["next_epoch"]
+            ladder = dict(progress["ladder"])
+            fallbacks = [FallbackEvent(*f) for f in progress["fallbacks"]]
+            events_replayed = progress["events_replayed"]
+            epochs = progress["epochs_replayed"]
+            ckpt_fallbacks = progress["checkpoint_fallbacks"]
+            resumed = True
+            if start_epoch <= self._crash_epoch:
+                resumed_from = start_epoch
+            # A chain mark for the epoch we are about to re-execute
+            # quantifies the chains the dead attempt had already run.
+            mark, io_m = self.disk.progress.load_chain_mark()
+            if io_m:
+                machine.spend_all(buckets.RELOAD, io_m)
+            if isinstance(mark, dict) and mark.get("epoch") == start_epoch:
+                self._wasted_recovery_chains += int(
+                    mark.get("chains_done", 0)
+                )
+        else:
+            state, snap_epoch, ckpt_fallbacks, io_s = self._load_checkpoint()
+            store.restore(state)
+            machine.spend_all(buckets.RELOAD, io_s)
+            start_epoch = snap_epoch + 1
+            self._crash_point("recovery.checkpoint-loaded")
+            # Initial watermark: a crash from here on resumes without
+            # re-walking the checkpoint ladder.  Its state equals the
+            # checkpoint just loaded, so the delta-charged append below
+            # costs only the header.
+            self._last_watermark_state = store.snapshot()
+            self._save_progress(
+                machine, store, snap_epoch, start_epoch, ladder,
+                fallbacks, events_replayed, epochs, ckpt_fallbacks,
+            )
+
+        for epoch_id in range(start_epoch, self._crash_epoch + 1):
+            self._chains_done_in_flight = 0
             outputs, rung = self._recover_epoch_laddered(
                 machine, executor, store, epoch_id, fallbacks
             )
             machine.barrier(buckets.WAIT)
             for seq, output in outputs:
                 self.sink.deliver(seq, output)
-            events_replayed += self.disk.events.count_epoch(epoch_id)
+            epoch_events = self.disk.events.count_epoch(epoch_id)
+            events_replayed += epoch_events
+            self._unwatermarked_events += epoch_events
             epochs += 1
             ladder[rung] = ladder.get(rung, 0) + 1
+            self._crash_point("recovery.epoch-replayed")
+            if self.resumable_recovery and (
+                (epoch_id - snap_epoch) % self.watermark_every == 0
+                or epoch_id == self._crash_epoch
+            ):
+                self._save_progress(
+                    machine, store, snap_epoch, epoch_id + 1, ladder,
+                    fallbacks, events_replayed, epochs, ckpt_fallbacks,
+                )
+                self._crash_point("recovery.watermark")
 
         # A mid-epoch crash sealed epochs it never finished processing:
         # un-seal them (newest first, so arrival order is preserved)
@@ -670,9 +841,14 @@ class FTScheme(ABC):
             machine.spend_all(buckets.RELOAD, io_p)
             self._pending_events = [Event.from_encoded(r) for r in raw_pending]
 
+        self._crash_point("recovery.finalize")
+        if self.resumable_recovery:
+            io_c = self.disk.progress.clear()
+            machine.spend_all(buckets.IO, io_c)
         self.store = store
         self._crashed = False
         elapsed = machine.elapsed()
+        stats = getattr(executor, "stats", None)
         return RecoveryReport(
             scheme=self.name,
             events_replayed=events_replayed,
@@ -684,7 +860,146 @@ class FTScheme(ABC):
             fallbacks=fallbacks,
             checkpoint_epoch=snap_epoch,
             checkpoint_fallbacks=ckpt_fallbacks,
+            resumed=resumed,
+            resumed_from_epoch=resumed_from,
+            watermark_saves=self._watermark_saves,
+            reassign_rounds=stats.rounds if stats else 0,
+            tasks_reassigned=stats.tasks_reassigned if stats else 0,
+            dead_workers=(
+                tuple(sorted(plan.observed_deaths)) if plan is not None else ()
+            ),
+            wasted_task_seconds=stats.wasted_seconds if stats else 0.0,
+            wasted_events=self._wasted_recovery_events,
+            wasted_chains=self._wasted_recovery_chains,
+            attempts=self._recovery_attempts,
+            elapsed_total_seconds=self._recovery_seconds_burned + elapsed,
         )
+
+    # ------------------------------------------------------------------
+    # resumable-recovery plumbing
+    # ------------------------------------------------------------------
+
+    def _crash_point(self, name: str) -> None:
+        """Named crash gate of the ``recovery.*`` family.
+
+        The chaos layer can kill the recovering process as it passes
+        any of these milestones; convergence of re-running ``recover()``
+        afterwards is what the resumability machinery guarantees.
+        """
+        faults = getattr(self.disk, "faults", None)
+        if faults is not None:
+            faults.at_point(name)
+
+    def _load_progress(self, machine: Machine):
+        """Load the durable watermark of a crashed previous attempt.
+
+        Returns the record, or ``None`` to start fresh: no watermark,
+        resumability disabled, a damaged slot (a torn watermark flush
+        only costs speed, never correctness), or a stale record from an
+        unrelated crash or scheme.
+        """
+        if not self.resumable_recovery or not self.disk.progress.exists:
+            return None
+        try:
+            record, io_s = self.disk.progress.load()
+        except DEGRADABLE_ERRORS:
+            self.disk.progress.clear()
+            return None
+        machine.spend_all(buckets.RELOAD, io_s)
+        if (
+            not isinstance(record, dict)
+            or record.get("scheme") != self.name
+            or record.get("crash_epoch") != self._crash_epoch
+        ):
+            self.disk.progress.clear()
+            return None
+        return record
+
+    def _save_progress(
+        self,
+        machine: Machine,
+        store: StateStore,
+        snap_epoch: int,
+        next_epoch: int,
+        ladder: Dict[str, int],
+        fallbacks: List[FallbackEvent],
+        events_replayed: int,
+        epochs: int,
+        ckpt_fallbacks: int,
+    ) -> None:
+        """Persist the recovery-progress watermark (CRC-framed slot).
+
+        Billed as an append-only delta log: only the state records
+        changed since the previous watermark are charged (plus a small
+        header), and the flush is asynchronous — recovery never blocks
+        on watermark durability, because losing one only costs
+        re-execution, never correctness.
+        """
+        if not self.resumable_recovery:
+            return
+        snap = store.snapshot()
+        record = {
+            "scheme": self.name,
+            "crash_epoch": self._crash_epoch,
+            "snap_epoch": snap_epoch,
+            "next_epoch": next_epoch,
+            "ladder": dict(ladder),
+            "fallbacks": [
+                (f.epoch_id, f.error, f.detail, f.rung) for f in fallbacks
+            ],
+            "events_replayed": events_replayed,
+            "epochs_replayed": epochs,
+            "checkpoint_fallbacks": ckpt_fallbacks,
+            "state": snap,
+        }
+        delta_bytes = self._watermark_delta_bytes(
+            self._last_watermark_state, snap
+        )
+        io_s = self.disk.progress.save(record, charge_bytes=64 + delta_bytes)
+        machine.spend_all(buckets.IO, io_s * (1.0 - self.costs.io_overlap))
+        self._last_watermark_state = snap
+        self._watermark_saves += 1
+        self._unwatermarked_events = 0
+
+    @staticmethod
+    def _watermark_delta_bytes(
+        prev: Optional[Dict], cur: Dict
+    ) -> int:
+        """Encoded size of the records changed between two snapshots."""
+        if prev is None:
+            return len(encode(cur))
+        total = 0
+        for table, records in cur.items():
+            prev_records = prev.get(table)
+            if prev_records is None:
+                total += len(encode({table: records}))
+                continue
+            changed = {
+                k: v for k, v in records.items() if prev_records.get(k) != v
+            }
+            if changed:
+                total += len(encode({table: changed}))
+        return total
+
+    def _mark_chain_progress(self, epoch_id: int) -> None:
+        """Per-chain watermark inside the in-flight epoch (recovery only).
+
+        Called by chain-structured schemes after each executed chain
+        bundle.  The mark never *skips* chains on resume — the epoch is
+        re-executed idempotently — it quantifies how much of the
+        in-flight epoch a mid-recovery crash wastes.
+        """
+        if not (self._crashed and self.resumable_recovery):
+            return
+        self._chains_done_in_flight += 1
+        # Fire-and-forget: the mark is an 8-byte counter overwritten in
+        # place and flushed by the async I/O path; the replay pipeline
+        # never blocks on it (losing a mark only blurs the wasted-work
+        # statistics, never correctness), so no core is charged.
+        self.disk.progress.save_chain_mark(
+            {"epoch": epoch_id, "chains_done": self._chains_done_in_flight}
+        )
+        self._crash_point("recovery.chain")
 
     def _load_checkpoint(self):
         """Checkpoint rung of the ladder: newest readable snapshot.

@@ -7,6 +7,20 @@ error) and/or kills the process *mid-epoch* (during group commit or
 during checkpointing), then recovery runs and the harness verifies the
 outcome against the serial ground truth.
 
+Beyond the storage grid, two failure families target recovery's *own*
+machinery:
+
+- **worker-failure cells** kill or straggle one recovery worker while
+  parallel replay is in flight; the resilient executor must re-assign
+  the dead worker's chains to survivors and still restore the exact
+  state (re-assignment rounds and wasted partial work are reported);
+- **crash-during-recovery cells** kill the recovering process at a
+  named ``recovery.*`` milestone (after checkpoint load, after an epoch
+  replay, after a watermark flush, between chains, at finalize) — and,
+  in the nested cell, twice in a row.  Each re-run of ``recover()``
+  must resume from the durable progress watermark and converge on the
+  same exact state, with the wasted re-execution quantified.
+
 Every cell must end in one of two documented states:
 
 - **exact** — recovered state and exactly-once outputs match the ground
@@ -27,9 +41,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import SCHEMES
-from repro.errors import ConfigError, InjectedCrash, StorageError
+from repro.errors import (
+    ConfigError,
+    InjectedCrash,
+    ReassignmentError,
+    StorageError,
+)
 from repro.ft.base import DEGRADABLE_ERRORS, FTScheme, RecoveryReport
 from repro.harness.runner import ground_truth
+from repro.sim.executor import WorkerFault
 from repro.storage.faults import FaultInjector, FaultSpec
 from repro.storage.stores import Disk
 from repro.workloads.streaming_ledger import StreamingLedger
@@ -38,6 +58,18 @@ from repro.workloads.streaming_ledger import StreamingLedger
 CRASH_POINTS = ("boundary", "mid-commit", "mid-checkpoint")
 #: Storage damage injected alongside the crash.
 FAULT_KINDS = ("none", "torn", "bitflip", "drop", "read-error")
+#: Worker-level failures injected into the parallel recovery itself.
+WORKER_FAULTS = ("die-early", "die-mid", "straggle")
+#: Milestones inside recovery the crash-during-recovery cells target.
+RECOVERY_CRASH_POINTS = (
+    "recovery.checkpoint-loaded",
+    "recovery.epoch-replayed",
+    "recovery.watermark",
+    "recovery.chain",
+    "recovery.finalize",
+)
+#: Label of the nested (crash-the-crashed-recovery) cell.
+NESTED_CELL = "recovery.epoch-replayed:x2"
 
 #: Outcomes a chaos cell may legitimately end in.
 OUTCOME_EXACT = "exact"
@@ -53,6 +85,14 @@ class ChaosConfig:
     schemes: Tuple[str, ...] = ("MSR", "WAL", "DL", "LV", "CKPT")
     fault_kinds: Tuple[str, ...] = FAULT_KINDS
     crash_points: Tuple[str, ...] = CRASH_POINTS
+    #: worker-failure cells run per scheme (empty tuple disables them).
+    worker_faults: Tuple[str, ...] = WORKER_FAULTS
+    #: crash-during-recovery cells run per scheme (empty disables them).
+    recovery_crash_points: Tuple[str, ...] = RECOVERY_CRASH_POINTS
+    #: also run the nested cell: two successive crashes mid-recovery.
+    nested_crash: bool = True
+    #: recover() re-runs allowed before a cell counts as non-convergent.
+    max_recovery_attempts: int = 6
     num_workers: int = 4
     epoch_len: int = 48
     snapshot_interval: int = 4
@@ -71,6 +111,16 @@ class ChaosConfig:
             raise ConfigError(f"fault kinds must be among {FAULT_KINDS}")
         if set(self.crash_points) - set(CRASH_POINTS):
             raise ConfigError(f"crash points must be among {CRASH_POINTS}")
+        if set(self.worker_faults) - set(WORKER_FAULTS):
+            raise ConfigError(
+                f"worker faults must be among {WORKER_FAULTS}"
+            )
+        if set(self.recovery_crash_points) - set(RECOVERY_CRASH_POINTS):
+            raise ConfigError(
+                f"recovery crash points must be among {RECOVERY_CRASH_POINTS}"
+            )
+        if self.max_recovery_attempts < 1:
+            raise ConfigError("max_recovery_attempts must be >= 1")
         if self.total_epochs <= self.snapshot_interval:
             raise ConfigError(
                 "total_epochs must exceed snapshot_interval so the crash "
@@ -100,8 +150,27 @@ class ChaosRun:
     #: rung name -> epochs recovered via that rung.
     ladder: Dict[str, int] = field(default_factory=dict)
     checkpoint_fallbacks: int = 0
-    #: virtual mean-time-to-recover (the recovery report's elapsed time).
+    #: virtual mean-time-to-recover, summed across every recover()
+    #: attempt of this cell (crashed attempts included).
     mttr_seconds: float = 0.0
+    #: recover() invocations this cell needed to converge.
+    attempts: int = 1
+    #: the final attempt resumed from a durable progress watermark.
+    resumed: bool = False
+    #: re-assignment rounds the resilient executor ran.
+    reassign_rounds: int = 0
+    #: chain tasks handed from dead workers to survivors.
+    tasks_reassigned: int = 0
+    #: recovery workers that died mid-replay.
+    dead_workers: Tuple[int, ...] = ()
+    #: events the final successful recovery replayed.
+    events_replayed: int = 0
+    #: events replayed by crashed attempts and replayed again later.
+    wasted_events: int = 0
+    #: chains re-executed because their chain mark was in flight.
+    wasted_chains: int = 0
+    #: wasted_events / (events_replayed + wasted_events).
+    wasted_ratio: float = 0.0
 
 
 @dataclass
@@ -127,11 +196,21 @@ class ChaosReport:
 
 
 def smoke_config(seed: int = 7) -> ChaosConfig:
-    """The reduced sweep CI runs on every push."""
+    """The reduced sweep CI runs on every push.
+
+    Includes two worker-failure kinds (a death and a straggler) and two
+    crash-during-recovery milestones plus the nested double-crash cell,
+    so the resumable-recovery machinery is exercised on every push.
+    """
     return ChaosConfig(
         schemes=("MSR", "WAL", "CKPT"),
         fault_kinds=("none", "torn"),
         crash_points=("boundary", "mid-commit"),
+        worker_faults=("die-early", "straggle"),
+        recovery_crash_points=(
+            "recovery.epoch-replayed",
+            "recovery.finalize",
+        ),
         seed=seed,
     )
 
@@ -231,15 +310,72 @@ def _verify_exact(scheme: FTScheme, workload, events) -> Tuple[bool, str]:
     return True, ""
 
 
+def _worker_fault_plan(
+    kind: str, baseline_mttr: float, num_workers: int
+) -> Tuple[WorkerFault, ...]:
+    """The fault list for one worker-failure cell.
+
+    Timing is anchored to the scheme's failure-free recovery time so
+    the injected moment lands *inside* the parallel replay regardless
+    of the cost model: ``die-early`` kills a worker before it runs a
+    single chain, ``die-mid`` kills one roughly halfway through, and
+    ``straggle`` slows one to a quarter speed from a quarter in.
+    """
+    if kind == "die-early":
+        return (WorkerFault(1 % num_workers, "die", at_seconds=0.0),)
+    if kind == "die-mid":
+        return (
+            WorkerFault(0, "die", at_seconds=0.5 * baseline_mttr),
+        )
+    if kind == "straggle":
+        return (
+            WorkerFault(
+                0,
+                "straggle",
+                at_seconds=0.25 * baseline_mttr,
+                slowdown=4.0,
+            ),
+        )
+    raise ConfigError(f"unknown worker fault {kind!r}")
+
+
+def _point_specs(cell: str) -> List[FaultSpec]:
+    """Crash-point fault specs for one crash-during-recovery cell."""
+    if cell == NESTED_CELL:
+        # Kill the first recovery attempt after its first epoch replay,
+        # then kill the *second* attempt at the same milestone — the
+        # point counter is shared across attempts, so nth=2 lands in
+        # the resumed run.  Convergence despite nested failures.
+        return [
+            FaultSpec(
+                "crash_point",
+                target="any",
+                nth=n,
+                point="recovery.epoch-replayed",
+            )
+            for n in (1, 2)
+        ]
+    return [FaultSpec("crash_point", target="any", nth=1, point=cell)]
+
+
 def _run_one(
-    scheme_name: str, fault_kind: str, crash_point: str, cfg: ChaosConfig
+    scheme_name: str,
+    fault_kind: str,
+    crash_point: str,
+    cfg: ChaosConfig,
+    recovery_faults: Tuple[WorkerFault, ...] = (),
+    point_specs: Sequence[FaultSpec] = (),
+    label_fault: Optional[str] = None,
+    label_point: Optional[str] = None,
 ) -> ChaosRun:
     workload = _make_workload(cfg)
     events = workload.generate(cfg.num_events, cfg.seed)
     scheme_cls = SCHEMES[scheme_name]
     stream = scheme_cls.log_streams[0] if scheme_cls.log_streams else None
     injector = FaultInjector(
-        _fault_specs(fault_kind, crash_point, stream, cfg), seed=cfg.seed
+        _fault_specs(fault_kind, crash_point, stream, cfg)
+        + list(point_specs),
+        seed=cfg.seed,
     )
     scheme = scheme_cls(
         workload,
@@ -248,11 +384,12 @@ def _run_one(
         snapshot_interval=cfg.snapshot_interval,
         disk=Disk(faults=injector),
         gc_keep_checkpoints=cfg.gc_keep_checkpoints,
+        recovery_faults=recovery_faults,
     )
     run = ChaosRun(
         scheme=scheme_name,
-        fault=fault_kind,
-        crash_point=crash_point,
+        fault=label_fault or fault_kind,
+        crash_point=label_point or crash_point,
         outcome=OUTCOME_UNEXPECTED,
         ok=False,
     )
@@ -267,19 +404,46 @@ def _run_one(
             # no log segments): stop the node at the epoch boundary.
             scheme.crash()
         run.actual_point = crash_point if run.mid_crash else "boundary"
-        try:
-            report = scheme.recover()
-        except StorageError as exc:
-            # The ladder was exhausted (or strict mode): recovery must
-            # fail loudly with a documented error and install nothing.
-            run.outcome = OUTCOME_FAILED_LOUD
-            run.ok = scheme.store is None
-            run.detail = f"{type(exc).__name__}: {exc}"
-            run.fault_fired = bool(injector.injected)
-            return run
-        run.mttr_seconds = report.elapsed_seconds
+        report = None
+        attempts = 0
+        while report is None:
+            # Crash-during-recovery cells kill recover() itself; each
+            # re-run must resume from the progress watermark.  A cell
+            # that cannot converge within the attempt budget fails.
+            attempts += 1
+            try:
+                report = scheme.recover()
+            except InjectedCrash:
+                if attempts >= cfg.max_recovery_attempts:
+                    run.detail = (
+                        "recovery did not converge within "
+                        f"{cfg.max_recovery_attempts} attempts"
+                    )
+                    run.fault_fired = bool(injector.injected)
+                    return run
+            except (StorageError, ReassignmentError) as exc:
+                # The ladder (or the re-assignment budget) was
+                # exhausted: recovery must fail loudly with a
+                # documented error and install nothing.
+                run.outcome = OUTCOME_FAILED_LOUD
+                run.ok = scheme.store is None
+                run.detail = f"{type(exc).__name__}: {exc}"
+                run.fault_fired = bool(injector.injected)
+                return run
+        run.attempts = report.attempts
+        run.resumed = report.resumed
+        run.mttr_seconds = report.elapsed_total_seconds
         run.ladder = dict(report.ladder)
         run.checkpoint_fallbacks = report.checkpoint_fallbacks
+        run.reassign_rounds = report.reassign_rounds
+        run.tasks_reassigned = report.tasks_reassigned
+        run.dead_workers = report.dead_workers
+        run.events_replayed = report.events_replayed
+        run.wasted_events = report.wasted_events
+        run.wasted_chains = report.wasted_chains
+        replayed_total = report.events_replayed + report.wasted_events
+        if replayed_total:
+            run.wasted_ratio = report.wasted_events / replayed_total
         # The scenario has played out; reprocess any epochs returned to
         # the ingress tail without further interference.
         injector.disarm()
@@ -319,4 +483,110 @@ def run_chaos(cfg: Optional[ChaosConfig] = None) -> ChaosReport:
         for fault in cfg.fault_kinds
         for point in cfg.crash_points
     ]
+    for scheme in cfg.schemes:
+        if cfg.worker_faults:
+            # Anchor the fault moment to this scheme's failure-free
+            # recovery time so a mid-recovery death actually lands
+            # mid-recovery (the baseline cell itself is not reported).
+            baseline = _run_one(scheme, "none", "boundary", cfg)
+            for kind in cfg.worker_faults:
+                runs.append(
+                    _run_one(
+                        scheme,
+                        "none",
+                        "boundary",
+                        cfg,
+                        recovery_faults=_worker_fault_plan(
+                            kind, baseline.mttr_seconds, cfg.num_workers
+                        ),
+                        label_fault=f"worker:{kind}",
+                    )
+                )
+        for point in cfg.recovery_crash_points:
+            if point == "recovery.chain" and scheme != "MSR":
+                # Only MorphStreamR marks per-chain progress; the point
+                # never fires elsewhere and the cell would be vacuous.
+                continue
+            runs.append(
+                _run_one(
+                    scheme,
+                    "none",
+                    "boundary",
+                    cfg,
+                    point_specs=_point_specs(point),
+                    label_point=point,
+                )
+            )
+        if cfg.nested_crash and cfg.recovery_crash_points:
+            runs.append(
+                _run_one(
+                    scheme,
+                    "none",
+                    "boundary",
+                    cfg,
+                    point_specs=_point_specs(NESTED_CELL),
+                    label_point=NESTED_CELL,
+                )
+            )
     return ChaosReport(config=cfg, runs=runs)
+
+
+def chaos_payload(report: ChaosReport) -> Dict:
+    """The JSON document ``repro chaos --json`` exports.
+
+    Per cell: the verdict, the fallback-ladder rung histogram, the
+    re-assignment counters, and the wasted-work ratio.  The summary
+    aggregates the rung histogram and wasted re-execution across the
+    whole sweep.
+    """
+    from dataclasses import asdict
+
+    ladder_total: Dict[str, int] = {}
+    wasted_events = replayed_plus_wasted = 0
+    for run in report.runs:
+        for rung, count in run.ladder.items():
+            ladder_total[rung] = ladder_total.get(rung, 0) + count
+        wasted_events += run.wasted_events
+        replayed_plus_wasted += run.events_replayed + run.wasted_events
+    return {
+        "config": asdict(report.config),
+        "passed": report.passed,
+        "outcome_counts": report.outcome_counts(),
+        "summary": {
+            "cells": len(report.runs),
+            "failures": len(report.failures),
+            "ladder_histogram": ladder_total,
+            "wasted_events": wasted_events,
+            "wasted_ratio": (
+                wasted_events / replayed_plus_wasted
+                if replayed_plus_wasted
+                else 0.0
+            ),
+        },
+        "cells": [
+            {
+                "scheme": run.scheme,
+                "fault": run.fault,
+                "crash_point": run.crash_point,
+                "outcome": run.outcome,
+                "ok": run.ok,
+                "detail": run.detail,
+                "actual_point": run.actual_point,
+                "fault_fired": run.fault_fired,
+                "mid_crash": run.mid_crash,
+                "ladder": dict(run.ladder),
+                "checkpoint_fallbacks": run.checkpoint_fallbacks,
+                "mttr_seconds": run.mttr_seconds,
+                "attempts": run.attempts,
+                "resumed": run.resumed,
+                "reassign_rounds": run.reassign_rounds,
+                "tasks_reassigned": run.tasks_reassigned,
+                "dead_workers": list(run.dead_workers),
+                "events_replayed": run.events_replayed,
+                "wasted_events": run.wasted_events,
+                "wasted_chains": run.wasted_chains,
+                "wasted_ratio": run.wasted_ratio,
+            }
+            for run in report.runs
+        ],
+    }

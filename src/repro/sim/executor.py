@@ -21,15 +21,34 @@ The executor verifies topological order and raises
 :class:`~repro.errors.SchedulingError` on a forward reference, so an
 incorrectly restructured schedule fails loudly instead of producing a
 bogus timing.
+
+Worker faults
+-------------
+
+Recovery's own machinery can fail: a :class:`WorkerFault` declares that
+a worker **dies** at a simulated instant (tasks it had not finished are
+*lost*, partial execution is wasted) or **straggles** (its work after
+the instant is slowed by a factor).  :class:`ParallelExecutor` honours a
+:class:`WorkerFaultPlan` by reporting lost tasks instead of silently
+dropping them; :class:`ResilientExecutor` additionally *responds*: it
+groups the lost tasks by chain, re-balances them onto the surviving
+workers via :func:`~repro.core.assignment.lpt_reassign`, charges a
+detection/backoff penalty per round, and fails loudly with
+:class:`~repro.errors.ReassignmentError` when the bounded retry budget
+is exhausted (or no worker survives).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import SchedulingError
+from repro import buckets
+from repro.errors import ConfigError, ReassignmentError, SchedulingError
 from repro.sim.clock import WAIT, Machine
+
+#: Worker fault kinds.
+WORKER_FAULT_KINDS = ("die", "straggle")
 
 
 @dataclass(frozen=True)
@@ -42,7 +61,9 @@ class SimTask:
     additional ``(bucket, seconds)`` components spent by the same worker
     immediately after the main cost — e.g. the per-operation dependency
     exploration a scheduler performs, which Fig. 11 reports separately
-    from execution.
+    from execution.  ``group`` optionally tags the chain/bundle the task
+    belongs to: when a worker dies, re-assignment moves whole groups so
+    chain order (and the intra-worker zero-sync property) is preserved.
     """
 
     uid: int
@@ -51,10 +72,88 @@ class SimTask:
     deps: Tuple[int, ...] = ()
     bucket: str = "execute"
     extra: Tuple[Tuple[str, float], ...] = ()
+    group: Optional[int] = None
 
     @property
     def total_cost(self) -> float:
         return self.cost + sum(seconds for _b, seconds in self.extra)
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One failure event of a recovery worker.
+
+    ``kind`` is ``die`` (the worker stops at ``at_seconds`` of simulated
+    time; anything unfinished is lost) or ``straggle`` (work performed
+    at or after ``at_seconds`` runs ``slowdown`` times slower).
+    """
+
+    worker: int
+    kind: str
+    at_seconds: float = 0.0
+    slowdown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKER_FAULT_KINDS:
+            raise ConfigError(f"unknown worker fault kind {self.kind!r}")
+        if self.worker < 0:
+            raise ConfigError("worker id must be >= 0")
+        if self.at_seconds < 0:
+            raise ConfigError("at_seconds must be >= 0")
+        if self.kind == "straggle" and self.slowdown < 1.0:
+            raise ConfigError("slowdown must be >= 1")
+
+
+class WorkerFaultPlan:
+    """The worker faults of one recovery run, validated against a machine.
+
+    At most one death and one straggle per worker.  The plan is static —
+    a worker is dead for any task that would start at or after its death
+    instant — but the plan records which deaths were actually *observed*
+    (affected at least one task) for reporting.
+    """
+
+    def __init__(self, faults: Sequence[WorkerFault], num_workers: int):
+        self._death: Dict[int, float] = {}
+        self._straggle: Dict[int, Tuple[float, float]] = {}
+        for fault in faults:
+            if fault.worker >= num_workers:
+                raise ConfigError(
+                    f"worker fault targets worker {fault.worker}, "
+                    f"machine has {num_workers} workers"
+                )
+            if fault.kind == "die":
+                if fault.worker in self._death:
+                    raise ConfigError(
+                        f"worker {fault.worker} already has a death scheduled"
+                    )
+                self._death[fault.worker] = fault.at_seconds
+            else:
+                if fault.worker in self._straggle:
+                    raise ConfigError(
+                        f"worker {fault.worker} already has a straggle "
+                        "scheduled"
+                    )
+                self._straggle[fault.worker] = (
+                    fault.at_seconds,
+                    fault.slowdown,
+                )
+        self.observed_deaths: Set[int] = set()
+
+    def death_of(self, worker: int) -> Optional[float]:
+        return self._death.get(worker)
+
+    def straggle_of(self, worker: int) -> Optional[Tuple[float, float]]:
+        return self._straggle.get(worker)
+
+    @property
+    def doomed_workers(self) -> Tuple[int, ...]:
+        """Workers with a scheduled death (regardless of observation)."""
+        return tuple(sorted(self._death))
+
+    @property
+    def stragglers(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._straggle))
 
 
 @dataclass
@@ -65,6 +164,24 @@ class ScheduleResult:
     makespan: float = 0.0
     cross_worker_edges: int = 0
     tasks_run: int = 0
+    #: tasks a dead worker never finished (in input order); empty unless
+    #: a :class:`WorkerFaultPlan` was in force.
+    lost: List[SimTask] = field(default_factory=list)
+    #: partial execution burned on tasks that died mid-flight.
+    wasted_seconds: float = 0.0
+    #: workers whose death affected at least one task.
+    dead_workers: Tuple[int, ...] = ()
+
+
+@dataclass
+class ReassignStats:
+    """What the resilient executor had to do about worker faults."""
+
+    rounds: int = 0
+    tasks_reassigned: int = 0
+    groups_reassigned: int = 0
+    wasted_seconds: float = 0.0
+    backoff_seconds: float = 0.0
 
 
 class ParallelExecutor:
@@ -78,6 +195,11 @@ class ParallelExecutor:
     even when the producer finished long ago.  Intra-worker dependencies
     cost nothing, which is the property MorphStreamR's restructuring
     exploits.
+
+    With a ``fault_plan``, a dying worker's unfinished tasks (and any
+    task depending on them, transitively) are reported in
+    ``ScheduleResult.lost`` rather than executed; the caller decides how
+    to respond (see :class:`ResilientExecutor`).
     """
 
     def __init__(
@@ -86,11 +208,13 @@ class ParallelExecutor:
         sync_cost: float,
         remote_cost: float = 0.0,
         remote_bucket: str = "explore",
+        fault_plan: Optional[WorkerFaultPlan] = None,
     ):
         self._machine = machine
         self._sync_cost = sync_cost
         self._remote_cost = remote_cost
         self._remote_bucket = remote_bucket
+        self._fault_plan = fault_plan
 
     def run(
         self,
@@ -104,10 +228,44 @@ class ParallelExecutor:
         clocks are *not* reset, so several ``run`` calls compose into one
         phase; call :meth:`Machine.reset` between phases instead.
         """
-        machine = self._machine
         result = ScheduleResult()
-        finish = result.finish
         workers: Dict[int, int] = {}
+        self._run_tasks(tasks, result.finish, workers, result, wait_bucket)
+        result.makespan = self._machine.elapsed()
+        if self._fault_plan is not None:
+            result.dead_workers = tuple(
+                sorted(self._fault_plan.observed_deaths)
+            )
+        return result
+
+    def _stretched(self, worker: int, start: float, seconds: float) -> float:
+        """Wall seconds a span takes on ``worker`` starting at ``start``."""
+        if self._fault_plan is None:
+            return seconds
+        straggle = self._fault_plan.straggle_of(worker)
+        if straggle is None:
+            return seconds
+        at, factor = straggle
+        if start >= at:
+            return seconds * factor
+        if start + seconds <= at:
+            return seconds
+        return (at - start) + (start + seconds - at) * factor
+
+    def _run_tasks(
+        self,
+        tasks: Sequence[SimTask],
+        finish: Dict[int, float],
+        workers: Dict[int, int],
+        result: ScheduleResult,
+        wait_bucket: str,
+    ) -> List[SimTask]:
+        """Core scheduling loop; appends lost tasks to ``result.lost``
+        (and returns them) instead of executing them."""
+        machine = self._machine
+        plan = self._fault_plan
+        lost_uids = {task.uid for task in result.lost}
+        newly_lost: List[SimTask] = []
         for task in tasks:
             if task.worker < 0 or task.worker >= machine.num_cores:
                 raise SchedulingError(
@@ -118,7 +276,14 @@ class ParallelExecutor:
                 raise SchedulingError(f"duplicate task uid {task.uid}")
             ready = 0.0
             remote_deps = 0
+            dep_lost = False
             for dep in task.deps:
+                if dep in lost_uids:
+                    # Cascade: the producer was lost with its worker, so
+                    # this task cannot run either — it is re-assigned
+                    # together with the producer.
+                    dep_lost = True
+                    continue
                 if dep not in finish:
                     raise SchedulingError(
                         f"task {task.uid} depends on {dep} which has not "
@@ -130,18 +295,183 @@ class ParallelExecutor:
                     remote_deps += 1
                     result.cross_worker_edges += 1
                 ready = max(ready, dep_done)
+            if dep_lost:
+                lost_uids.add(task.uid)
+                newly_lost.append(task)
+                result.lost.append(task)
+                continue
             core = machine.cores[task.worker]
+            death_at = plan.death_of(task.worker) if plan is not None else None
+            start = max(core.clock, ready)
+            if death_at is not None and start >= death_at:
+                # The worker is dead before the task could begin.
+                plan.observed_deaths.add(task.worker)
+                lost_uids.add(task.uid)
+                newly_lost.append(task)
+                result.lost.append(task)
+                continue
             core.advance_to(ready, wait_bucket)
+            spans: List[Tuple[str, float]] = []
             if remote_deps and self._remote_cost:
-                core.spend(self._remote_bucket, remote_deps * self._remote_cost)
-            done = core.spend(task.bucket, task.cost)
-            for bucket, seconds in task.extra:
-                done = core.spend(bucket, seconds)
-            finish[task.uid] = done
+                spans.append(
+                    (self._remote_bucket, remote_deps * self._remote_cost)
+                )
+            spans.append((task.bucket, task.cost))
+            spans.extend(task.extra)
+            died_mid_task = False
+            for bucket, seconds in spans:
+                seconds = self._stretched(task.worker, core.clock, seconds)
+                if death_at is not None and core.clock + seconds > death_at:
+                    # The worker dies mid-task: the partial execution is
+                    # real CPU burned but the task must be re-executed
+                    # elsewhere — it counts as wasted work.
+                    burned = death_at - core.clock
+                    if burned > 0:
+                        core.spend(bucket, burned)
+                    plan.observed_deaths.add(task.worker)
+                    result.wasted_seconds += death_at - start
+                    died_mid_task = True
+                    break
+                core.spend(bucket, seconds)
+            if died_mid_task:
+                lost_uids.add(task.uid)
+                newly_lost.append(task)
+                result.lost.append(task)
+                continue
+            finish[task.uid] = core.clock
             workers[task.uid] = task.worker
             result.tasks_run += 1
+        return newly_lost
+
+
+class ResilientExecutor(ParallelExecutor):
+    """Fault-aware executor that re-assigns lost work to survivors.
+
+    Each call to :meth:`run` retries until every task has executed:
+    lost tasks are grouped by ``SimTask.group`` (falling back to one
+    group per task), their residual weights are LPT-re-balanced onto
+    the surviving workers, a detection/backoff penalty (doubling per
+    round) is charged to every survivor, and the round repeats.  When
+    ``reassign_budget`` rounds are exhausted — or no worker survives —
+    :class:`~repro.errors.ReassignmentError` is raised; the schedule is
+    never silently incomplete.
+
+    Cumulative statistics across ``run`` calls live in ``stats`` (one
+    recovery phase typically issues many runs, one per replayed epoch).
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        sync_cost: float,
+        remote_cost: float = 0.0,
+        remote_bucket: str = "explore",
+        fault_plan: Optional[WorkerFaultPlan] = None,
+        reassign_budget: int = 3,
+        reassign_backoff: float = 1e-5,
+    ):
+        super().__init__(
+            machine, sync_cost, remote_cost, remote_bucket, fault_plan
+        )
+        if reassign_budget < 1:
+            raise ConfigError("reassign_budget must be >= 1")
+        if reassign_backoff < 0:
+            raise ConfigError("reassign_backoff must be >= 0")
+        self._reassign_budget = reassign_budget
+        self._reassign_backoff = reassign_backoff
+        self.stats = ReassignStats()
+
+    def run(
+        self,
+        tasks: Sequence[SimTask],
+        wait_bucket: str = WAIT,
+    ) -> ScheduleResult:
+        machine = self._machine
+        result = ScheduleResult()
+        workers: Dict[int, int] = {}
+        pending: Sequence[SimTask] = tasks
+        round_no = 0
+        while True:
+            result.lost = []
+            lost = self._run_tasks(
+                pending, result.finish, workers, result, wait_bucket
+            )
+            if not lost:
+                break
+            round_no += 1
+            if round_no > self._reassign_budget:
+                raise ReassignmentError(
+                    f"re-assignment budget exhausted after "
+                    f"{self._reassign_budget} round(s); {len(lost)} task(s) "
+                    "still stranded on dead workers"
+                )
+            pending = self._reassigned(lost)
+            self.stats.rounds += 1
+            self.stats.tasks_reassigned += len(lost)
         result.makespan = machine.elapsed()
+        self.stats.wasted_seconds += result.wasted_seconds
+        if self._fault_plan is not None:
+            result.dead_workers = tuple(
+                sorted(self._fault_plan.observed_deaths)
+            )
         return result
+
+    def _reassigned(self, lost: Sequence[SimTask]) -> List[SimTask]:
+        """Re-pin lost tasks onto survivors, whole chains at a time."""
+        # Deferred import: repro.core pulls in ft.base → sim.executor at
+        # package-import time, so a module-level import here would cycle.
+        from repro.core.assignment import lpt_reassign
+
+        plan = self._fault_plan
+        machine = self._machine
+        num_workers = machine.num_cores
+        assert plan is not None  # tasks are only lost under a plan
+        survivors = [
+            w for w in range(num_workers) if plan.death_of(w) is None
+        ]
+        if not survivors:
+            raise ReassignmentError(
+                "all recovery workers are dead; nothing to re-assign onto"
+            )
+        # Detection + re-dispatch latency, doubling per round (bounded
+        # exponential backoff); charged on every survivor.
+        backoff = self._reassign_backoff * (2 ** self.stats.rounds)
+        if backoff:
+            for wid in survivors:
+                machine.cores[wid].spend(buckets.REASSIGN, backoff)
+            self.stats.backoff_seconds += backoff
+        # Group lost tasks by chain so each chain stays on one worker
+        # (preserving in-order execution and the zero-sync property).
+        group_tasks: Dict[object, List[SimTask]] = {}
+        group_order: List[object] = []
+        for task in lost:
+            key = task.group if task.group is not None else ("uid", task.uid)
+            if key not in group_tasks:
+                group_tasks[key] = []
+                group_order.append(key)
+            group_tasks[key].append(task)
+        weights = [
+            sum(t.total_cost for t in group_tasks[key]) for key in group_order
+        ]
+        original = [group_tasks[key][0].worker for key in group_order]
+        dead = [w for w in range(num_workers) if w not in survivors]
+        new_assignment, _loads = lpt_reassign(
+            weights, original, completed=(), dead_workers=dead,
+            num_workers=num_workers,
+        )
+        worker_of_group = {
+            key: new_assignment[i] for i, key in enumerate(group_order)
+        }
+        self.stats.groups_reassigned += len(group_order)
+        return [
+            replace(
+                task,
+                worker=worker_of_group[
+                    task.group if task.group is not None else ("uid", task.uid)
+                ],
+            )
+            for task in lost
+        ]
 
 
 def critical_path_length(

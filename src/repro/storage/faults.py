@@ -32,8 +32,11 @@ from repro.errors import ConfigError, InjectedCrash, ReadFaultError
 WRITE_KINDS = ("torn", "bitflip", "drop", "crash")
 #: Fault kinds applied to reads.
 READ_KINDS = ("read_error",)
+#: Fault kinds applied to named execution points (crash gates inside
+#: the recovery path itself, e.g. ``recovery.epoch-replayed``).
+POINT_KINDS = ("crash_point",)
 #: Operation categories the injector distinguishes.
-TARGETS = ("log", "snapshot", "events", "any")
+TARGETS = ("log", "snapshot", "events", "progress", "any")
 
 
 @dataclass(frozen=True)
@@ -42,11 +45,14 @@ class FaultSpec:
 
     ``kind`` is one of ``torn`` (keep only a prefix of the flush),
     ``bitflip`` (flip one payload bit), ``drop`` (the flush never
-    reaches the medium), ``read_error`` (the fetch fails with EIO), or
+    reaches the medium), ``read_error`` (the fetch fails with EIO),
     ``crash`` (tear the flush, then kill the process at the next crash
-    gate).  The fault fires on the ``nth`` operation (1-based) of
-    ``target``, or independently with ``probability`` per operation;
-    ``stream`` restricts log faults to one named log stream.
+    gate), or ``crash_point`` (kill the process when recovery passes
+    the named execution ``point``, e.g. ``recovery.epoch-replayed``).
+    The fault fires on the ``nth`` operation (1-based) of ``target`` —
+    for ``crash_point``, the nth time that *point* is passed — or
+    independently with ``probability`` per operation; ``stream``
+    restricts log faults to one named log stream.
     """
 
     kind: str
@@ -56,12 +62,18 @@ class FaultSpec:
     stream: Optional[str] = None
     #: Fraction of the framed blob a torn/crash flush retains.
     torn_fraction: float = 0.5
+    #: Execution point a ``crash_point`` fault fires at.
+    point: Optional[str] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in WRITE_KINDS + READ_KINDS:
+        if self.kind not in WRITE_KINDS + READ_KINDS + POINT_KINDS:
             raise ConfigError(f"unknown fault kind {self.kind!r}")
         if self.target not in TARGETS:
             raise ConfigError(f"unknown fault target {self.target!r}")
+        if self.kind in POINT_KINDS and not self.point:
+            raise ConfigError("crash_point fault needs a point name")
+        if self.kind not in POINT_KINDS and self.point is not None:
+            raise ConfigError(f"{self.kind} fault does not take a point")
         if self.nth is None and self.probability <= 0.0:
             raise ConfigError("fault needs an nth index or a probability")
         if self.nth is not None and self.nth < 1:
@@ -90,6 +102,7 @@ class FaultInjector:
         self._rng = random.Random(seed)
         self._write_counts = {t: 0 for t in TARGETS}
         self._read_counts = {t: 0 for t in TARGETS}
+        self._point_counts: dict = {}
         self._consumed: set = set()
         self._armed = True
         #: Faults that fired, in order (the chaos report's evidence).
@@ -201,6 +214,31 @@ class FaultInjector:
             )
             raise ReadFaultError(
                 f"injected device read error (EIO) for {context}"
+            )
+
+    def at_point(self, point: str) -> None:
+        """Crash gate at a named execution point inside recovery.
+
+        Recovery calls this as it passes each milestone (e.g. right
+        after persisting a progress watermark).  A matching
+        ``crash_point`` fault raises :class:`InjectedCrash` on the spot,
+        modelling the recovering process itself dying mid-recovery.
+        """
+        count = self._point_counts.get(point, 0) + 1
+        self._point_counts[point] = count
+        if not self._armed:
+            return
+        for idx, spec in enumerate(self._specs):
+            if spec.kind not in POINT_KINDS or spec.point != point:
+                continue
+            if not self._fire(idx, spec, spec.target, count, None):
+                continue
+            self.injected.append(
+                InjectedFault(spec.kind, spec.target, point, count)
+            )
+            self.crashes_fired += 1
+            raise InjectedCrash(
+                f"injected crash during recovery at point {point!r}"
             )
 
     def maybe_crash(self) -> None:

@@ -39,7 +39,13 @@ from repro.storage.codec import decode, encode
 from repro.storage.device import StorageDevice
 from repro.storage.faults import FaultInjector
 from repro.storage.integrity import verify
-from repro.storage.stores import Disk, EventStore, LogStore, SnapshotStore
+from repro.storage.stores import (
+    Disk,
+    EventStore,
+    LogStore,
+    ProgressStore,
+    SnapshotStore,
+)
 
 
 class FileEventStore(EventStore):
@@ -264,6 +270,54 @@ class FileLogStore(LogStore):
         return freed
 
 
+class FileProgressStore(ProgressStore):
+    """Progress store persisting its two slots as files under ``root``.
+
+    ``progress.bin`` holds the watermark, ``chain_mark.bin`` the
+    in-flight epoch's chain counter.  A new process reopening the root
+    finds the watermark of a recovery that died mid-flight and resumes.
+    """
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        root: Path,
+        faults: Optional[FaultInjector] = None,
+    ):
+        super().__init__(device, faults)
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        slot_path = self._root / "progress.bin"
+        if slot_path.exists():
+            self._slot = slot_path.read_bytes()
+        mark_path = self._root / "chain_mark.bin"
+        if mark_path.exists():
+            self._chain_mark = mark_path.read_bytes()
+
+    def save(self, record: Any, charge_bytes: Optional[int] = None) -> float:
+        seconds = super().save(record, charge_bytes)
+        if self._slot is not None:
+            (self._root / "progress.bin").write_bytes(self._slot)
+        mark_path = self._root / "chain_mark.bin"
+        if mark_path.exists():
+            mark_path.unlink()
+        return seconds
+
+    def clear(self) -> float:
+        seconds = super().clear()
+        for name in ("progress.bin", "chain_mark.bin"):
+            path = self._root / name
+            if path.exists():
+                path.unlink()
+        return seconds
+
+    def save_chain_mark(self, mark: Any) -> float:
+        seconds = super().save_chain_mark(mark)
+        if self._chain_mark is not None:
+            (self._root / "chain_mark.bin").write_bytes(self._chain_mark)
+        return seconds
+
+
 class FileBackedDisk(Disk):
     """A :class:`Disk` whose three stores write through to ``root``.
 
@@ -287,6 +341,9 @@ class FileBackedDisk(Disk):
             self.device, root / "snapshots", faults
         )
         self.logs = FileLogStore(self.device, root / "logs", faults)
+        self.progress = FileProgressStore(
+            self.device, root / "progress", faults
+        )
 
     def last_sealed_epoch(self) -> Optional[int]:
         """The newest epoch whose events were sealed (None if none)."""

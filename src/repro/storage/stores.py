@@ -432,9 +432,119 @@ class LogStore:
         return sum(len(blob) for blob in self._segments.values())
 
 
+class ProgressStore:
+    """Single-slot durable record of how far a recovery has progressed.
+
+    Recovery is itself a long computation that can crash; this store
+    holds its watermark so a re-run resumes instead of restarting from
+    scratch.  Two CRC-framed slots:
+
+    - the **watermark** — a snapshot of the partially-recovered state
+      plus the next epoch to replay and ladder bookkeeping, overwritten
+      as recovery advances (epoch granularity);
+    - the **chain mark** — a tiny counter of chains finished *within*
+      the in-flight epoch, used to quantify (not skip) the wasted
+      re-execution of the idempotently re-run epoch.
+
+    Each ``save`` overwrites in place, so a torn flush damages the slot:
+    :meth:`load` then raises and recovery degrades to a fresh start —
+    strictly convergent, just slower.  Saving a new watermark clears the
+    chain mark (marks are relative to the current watermark's epoch).
+    """
+
+    _CONTEXT = "recovery progress watermark"
+    _MARK_CONTEXT = "recovery chain mark"
+
+    def __init__(
+        self, device: StorageDevice, faults: Optional[FaultInjector] = None
+    ):
+        self._device = device
+        self._faults = faults
+        self._slot: Optional[bytes] = None
+        self._chain_mark: Optional[bytes] = None
+
+    def save(self, record: Any, charge_bytes: Optional[int] = None) -> float:
+        """Overwrite the watermark slot; returns I/O seconds.
+
+        ``charge_bytes`` models an append-only watermark log compacted
+        off the critical path: the caller passes the *incremental*
+        bytes this save actually appends (the state delta since the
+        previous watermark) and only those are billed, while the slot
+        logically holds the full record for resume.
+        """
+        blob = protect(encode(record))
+        landed: Optional[bytes] = blob
+        if self._faults is not None:
+            landed = self._faults.on_write("progress", self._CONTEXT, blob)
+        if landed is not None:
+            self._slot = landed
+            self._chain_mark = None
+        return self._device.write(
+            len(blob) if charge_bytes is None else charge_bytes
+        )
+
+    def load(self) -> Tuple[Optional[Any], float]:
+        """Read the watermark; returns ``(record, io_seconds)``.
+
+        ``record`` is ``None`` when no watermark was ever saved (or it
+        was cleared).  A damaged slot raises like any framed segment.
+        """
+        if self._slot is None:
+            return None, 0.0
+        if self._faults is not None:
+            self._faults.on_read("progress", self._CONTEXT)
+        seconds = self._device.read(len(self._slot))
+        return decode(verify(self._slot, self._CONTEXT)), seconds
+
+    def clear(self) -> float:
+        """Drop the watermark (recovery finished); returns I/O seconds."""
+        self._slot = None
+        self._chain_mark = None
+        return self._device.write(1)
+
+    @property
+    def exists(self) -> bool:
+        return self._slot is not None
+
+    def save_chain_mark(self, mark: Any) -> float:
+        """Overwrite the per-chain progress mark of the in-flight epoch."""
+        blob = protect(encode(mark))
+        landed: Optional[bytes] = blob
+        if self._faults is not None:
+            landed = self._faults.on_write(
+                "progress", self._MARK_CONTEXT, blob
+            )
+        if landed is not None:
+            self._chain_mark = landed
+        return self._device.write(len(blob))
+
+    def load_chain_mark(self) -> Tuple[Optional[Any], float]:
+        """Read the chain mark; ``(None, 0.0)`` when absent.
+
+        A damaged mark is treated as absent — it only quantifies wasted
+        work, so losing it must never block recovery.
+        """
+        if self._chain_mark is None:
+            return None, 0.0
+        if self._faults is not None:
+            self._faults.on_read("progress", self._MARK_CONTEXT)
+        seconds = self._device.read(len(self._chain_mark))
+        try:
+            return decode(verify(self._chain_mark, self._MARK_CONTEXT)), seconds
+        except StorageError:
+            return None, seconds
+
+    @property
+    def bytes_stored(self) -> int:
+        total = len(self._slot) if self._slot is not None else 0
+        if self._chain_mark is not None:
+            total += len(self._chain_mark)
+        return total
+
+
 class Disk:
     """Convenience bundle: one device (and fault plan) shared by the
-    three stores."""
+    four stores."""
 
     def __init__(
         self,
@@ -446,6 +556,7 @@ class Disk:
         self.events = EventStore(self.device, faults)
         self.snapshots = SnapshotStore(self.device, faults)
         self.logs = LogStore(self.device, faults)
+        self.progress = ProgressStore(self.device, faults)
 
     @property
     def bytes_stored(self) -> int:
@@ -453,4 +564,5 @@ class Disk:
             self.events.bytes_stored
             + self.snapshots.bytes_stored
             + self.logs.bytes_stored
+            + self.progress.bytes_stored
         )

@@ -12,8 +12,10 @@ from repro.ft.wal import WriteAheadLog
 from repro.harness.chaos import (
     CRASH_POINTS,
     FAULT_KINDS,
+    NESTED_CELL,
     ChaosConfig,
     _run_one,
+    chaos_payload,
     run_chaos,
     smoke_config,
 )
@@ -242,6 +244,85 @@ class TestChaosSweep:
 
         with pytest.raises(ConfigError):
             ChaosConfig(schemes=("NAT",))
+
+    def test_config_rejects_unknown_worker_fault_and_recovery_point(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            ChaosConfig(worker_faults=("die-eventually",))
+        with pytest.raises(ConfigError):
+            ChaosConfig(recovery_crash_points=("recovery.coffee-break",))
+
+
+class TestChaosRecoveryDimensions:
+    """The worker-failure and crash-during-recovery sweep families."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_chaos(smoke_config())
+
+    def test_smoke_includes_worker_failure_cells(self, report):
+        worker_cells = [
+            r for r in report.runs if r.fault.startswith("worker:")
+        ]
+        assert len(worker_cells) >= 2
+        assert report.passed
+        # At least one death was observed and re-assigned somewhere.
+        deaths = [r for r in worker_cells if r.dead_workers]
+        assert deaths
+        assert all(r.reassign_rounds >= 1 for r in deaths)
+        assert all(r.tasks_reassigned > 0 for r in deaths)
+
+    def test_smoke_includes_crash_during_recovery_cells(self, report):
+        recovery_cells = [
+            r for r in report.runs if r.crash_point.startswith("recovery.")
+        ]
+        assert recovery_cells
+        converged = [r for r in recovery_cells if r.crash_point != NESTED_CELL]
+        assert all(r.attempts == 2 for r in converged)
+        assert all(r.outcome == "exact" for r in recovery_cells)
+
+    def test_nested_cell_converges_in_three_attempts(self, report):
+        nested = [r for r in report.runs if r.crash_point == NESTED_CELL]
+        assert nested
+        assert all(r.attempts == 3 for r in nested)
+        assert all(r.ok for r in nested)
+        # Wasted re-execution is measured, not hidden.
+        assert all(r.wasted_ratio > 0 for r in nested)
+
+    def test_payload_reports_histogram_and_wasted_work(self, report):
+        import json
+
+        payload = chaos_payload(report)
+        assert payload["passed"] is True
+        assert payload["summary"]["cells"] == len(report.runs)
+        assert payload["summary"]["ladder_histogram"].get("fast", 0) > 0
+        assert 0 < payload["summary"]["wasted_ratio"] < 1
+        cell = payload["cells"][0]
+        for key in (
+            "ladder",
+            "attempts",
+            "resumed",
+            "reassign_rounds",
+            "tasks_reassigned",
+            "wasted_ratio",
+            "mttr_seconds",
+        ):
+            assert key in cell
+        json.dumps(payload)  # exportable as-is
+
+    def test_mttr_covers_crashed_attempts(self, report):
+        # A cell that needed N attempts spent more virtual time than its
+        # final successful pass alone; MTTR must reflect the whole story.
+        nested = [r for r in report.runs if r.crash_point == NESTED_CELL]
+        single = [
+            r
+            for r in report.runs
+            if r.scheme == nested[0].scheme
+            and r.fault == "none"
+            and r.crash_point == "boundary"
+        ]
+        assert nested[0].mttr_seconds > single[0].mttr_seconds
 
 
 def serial_state(workload, events):
