@@ -1,0 +1,606 @@
+"""ShardedCluster: N shard-local MorphStreamR instances + failure domains.
+
+ROADMAP item 2's regime: the key space is range-partitioned across N
+shards, each an independent MorphStreamR instance (own disk, own
+simulated multicore) placed on a node of a rack.  One global event
+stream is routed per cluster epoch:
+
+1. the coordinator preprocesses the batch, detects cross-shard
+   transactions and runs one *frontier pass* over a federated
+   (read-through, write-buffered) view of all shard stores, pinning
+   every cross-shard verdict and read value into the per-epoch
+   :class:`DependencyFrontier`;
+2. each touched shard durably commits its frontier slice as an extra
+   ``"frontier"`` log stream, then processes its localized slice of the
+   epoch through the ordinary FTScheme pipeline (selective logging,
+   checkpoints, GC — all unchanged);
+3. at the epoch boundary the :class:`ClusterFaultPlan` may kill a
+   failure domain: every shard in it loses its volatile state, and for
+   node/rack kills the node-local storage dies too — recovery is then
+   only possible from placement replicas.
+
+Recovery checks the placement survival verdict first (failing **loudly**
+with :class:`ClusterDataLossError` when the correlated kill out-ran the
+replication factor), then recovers each dead shard from durable bytes
+alone — the frontier stream is reloaded from disk, so cross-shard
+dependencies resolve without contacting any other shard, and concurrent
+shard recoveries converge to the serial ground truth.  Dead shards'
+recoveries are LPT-packed onto the surviving nodes and simulated via
+the :class:`ResilientExecutor`; the resulting
+:class:`ClusterRecoveryReport` carries per-shard and aggregate MTTR and
+the availability-centric RTO/RPO metrics of Vogel et al.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import buckets
+from repro.cluster.faultplan import ClusterFaultPlan
+from repro.cluster.frontier import DependencyFrontier, FederatedView, FrontierEntry
+from repro.cluster.placement import PlacementStrategy, get_placement
+from repro.cluster.sharding import SHARD_INTERNAL, ShardMap, ShardWorkload
+from repro.cluster.topology import ClusterTopology, KillTarget
+from repro.core.assignment import lpt_assign
+from repro.core.morphstreamr import MorphStreamR
+from repro.engine.events import Event
+from repro.engine.execution import execute_tpg, preprocess
+from repro.engine.state import StateStore
+from repro.engine.tpg import build_tpg
+from repro.engine.transactions import Transaction
+from repro.errors import ClusterDataLossError, ConfigError, InjectedCrash, RecoveryError
+from repro.ft.base import FTScheme, OutputSink
+from repro.sim.clock import Machine
+from repro.sim.costs import DEFAULT_COSTS, CostModel
+from repro.sim.executor import ResilientExecutor, SimTask
+from repro.storage.codec import encode
+from repro.storage.device import StorageDevice
+from repro.storage.stores import Disk
+
+#: Log stream carrying each shard's slice of the dependency frontier.
+FRONTIER_STREAM = "frontier"
+
+
+@dataclass
+class ClusterRuntimeReport:
+    """What one runtime phase of the whole cluster measured."""
+
+    num_shards: int
+    events_processed: int
+    epochs: int
+    elapsed_seconds: float
+    throughput_eps: float
+    cross_shard_txns: int
+    total_txns: int
+    replication_bytes: int
+
+    @property
+    def cross_shard_ratio(self) -> float:
+        return self.cross_shard_txns / self.total_txns if self.total_txns else 0.0
+
+
+@dataclass
+class ShardRecoveryRecord:
+    """One dead shard's recovery, in cluster coordinates."""
+
+    shard: int
+    node: int
+    rack: int
+    mttr_seconds: float
+    epochs_replayed: int
+    events_replayed: int
+    ladder: Dict[str, int]
+    resumed: bool
+    checkpoint_epoch: Optional[int]
+    attempts: int
+    watermark_degradations: int
+
+
+@dataclass
+class ClusterRecoveryReport:
+    """Aggregate verdict of one correlated-failure recovery."""
+
+    placement: str
+    replication: int
+    kills: Tuple[str, ...]
+    shards_killed: Tuple[int, ...]
+    nodes_killed: Tuple[int, ...]
+    #: simultaneously-dead nodes — the k of the k-correlated failure.
+    correlation_width: int
+    detection_seconds: float
+    #: wall-clock of the parallel shard recoveries on surviving nodes.
+    makespan_seconds: float
+    #: Recovery Time Objective actually achieved: detection + makespan.
+    rto_seconds: float
+    #: acknowledged events whose effects were lost (0 on success — the
+    #: frontier + logs/checkpoints reconstruct everything acknowledged).
+    rpo_events: int
+    rpo_seconds: float
+    mean_mttr_seconds: float
+    max_mttr_seconds: float
+    recovery_nodes: int
+    per_shard: List[ShardRecoveryRecord]
+    data_loss: bool = False
+    lost_shards: Tuple[int, ...] = ()
+    verdict: str = "survived"
+    watermark_degradations: int = 0
+
+
+class ShardedCluster:
+    """N shard-local MSR instances under one failure-domain topology."""
+
+    def __init__(
+        self,
+        workload,
+        topology: ClusterTopology,
+        *,
+        placement: str = "checkpoint_spread",
+        replication: int = 1,
+        workers_per_shard: int = 2,
+        epoch_len: int = 32,
+        snapshot_interval: int = 4,
+        gc_keep_checkpoints: int = 2,
+        costs: CostModel = DEFAULT_COSTS,
+        fault_plan: Optional[ClusterFaultPlan] = None,
+        detection_seconds: float = 0.5,
+        scheme_cls: type = MorphStreamR,
+    ):
+        if replication < 0:
+            raise ConfigError("replication must be >= 0")
+        if replication > topology.num_nodes - 1:
+            raise ConfigError(
+                f"replication {replication} exceeds the {topology.num_nodes - 1} "
+                "other nodes available"
+            )
+        if epoch_len < 1:
+            raise ConfigError("epoch_len must be >= 1")
+        self.workload = workload
+        self.topology = topology
+        self.placement: PlacementStrategy = get_placement(placement)
+        self.replication = replication
+        self.epoch_len = epoch_len
+        self.costs = costs
+        self.detection_seconds = detection_seconds
+        self.fault_plan = fault_plan or ClusterFaultPlan()
+        self.fault_plan.validate(topology)
+        self.shard_map = ShardMap(workload, topology.num_shards)
+        self.sink = OutputSink()
+
+        shard_kwargs: Dict[str, object] = dict(
+            num_workers=workers_per_shard,
+            epoch_len=epoch_len,
+            snapshot_interval=snapshot_interval,
+            gc_keep_checkpoints=gc_keep_checkpoints,
+            costs=costs,
+        )
+        shard_kwargs.update(self.placement.shard_kwargs())
+        self.shards: List[FTScheme] = []
+        for sid in range(topology.num_shards):
+            shard_workload = ShardWorkload(workload, self.shard_map, sid)
+            disk = Disk(faults=self.fault_plan.injector_for(sid))
+            self.shards.append(
+                scheme_cls(
+                    shard_workload,
+                    disk=disk,
+                    recovery_faults=self.fault_plan.recovery_faults_for(sid),
+                    **shard_kwargs,
+                )
+            )
+
+        #: bytes shipped to placement replicas (charged on shard machines).
+        self.replication_bytes = 0
+        self._replica_device = StorageDevice()
+        self._disk_bytes = [s.disk.bytes_stored for s in self.shards]
+        self._pending: List[Event] = []
+        #: every event of a *completed* cluster epoch (volatile; only for
+        #: ground-truth verification, mirroring the chaos harness).
+        self._processed_events: List[Event] = []
+        self._epochs_done = 0
+        self._crashed = False
+        self._dead_shards: Set[int] = set()
+        self._dead_nodes: Set[int] = set()
+        self._kills_applied: List[KillTarget] = []
+        self._shard_records: Dict[int, ShardRecoveryRecord] = {}
+        self._cross_txns = 0
+        self._total_txns = 0
+        #: batch + routes of a cluster epoch interrupted mid-flight by a
+        #: shard's storage-fault crash (boundary kills never set this).
+        self._inflight: Optional[List[Event]] = None
+        self._inflight_routes: Dict[int, List[Event]] = {}
+
+    # ------------------------------------------------------------------
+    # runtime
+    # ------------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def epochs_done(self) -> int:
+        return self._epochs_done
+
+    def elapsed_seconds(self) -> float:
+        """Cluster wall-clock: shards run in parallel on distinct nodes."""
+        return max(s.machine.elapsed() for s in self.shards)
+
+    def process_stream(self, events: Sequence[Event]) -> ClusterRuntimeReport:
+        """Route and process ``events`` cluster-epoch by cluster-epoch."""
+        if self._crashed:
+            raise RecoveryError(
+                "cluster has failed shards; call recover() first"
+            )
+        queue = self._pending + list(events)
+        self._pending = []
+        start_elapsed = self.elapsed_seconds()
+        start_events = len(self._processed_events)
+        while len(queue) >= self.epoch_len and not self._crashed:
+            batch, queue = queue[: self.epoch_len], queue[self.epoch_len :]
+            self._process_cluster_epoch(batch)
+        self._pending = queue
+        elapsed = self.elapsed_seconds() - start_elapsed
+        events_done = len(self._processed_events) - start_events
+        return ClusterRuntimeReport(
+            num_shards=self.topology.num_shards,
+            events_processed=events_done,
+            epochs=self._epochs_done,
+            elapsed_seconds=elapsed,
+            throughput_eps=events_done / elapsed if elapsed > 0 else 0.0,
+            cross_shard_txns=self._cross_txns,
+            total_txns=self._total_txns,
+            replication_bytes=self.replication_bytes,
+        )
+
+    def _process_cluster_epoch(self, batch: Sequence[Event]) -> None:
+        epoch_id = self._epochs_done
+        self._inflight = list(batch)
+        self._inflight_routes = self._coordinate(epoch_id, batch)
+        crashed_now = False
+        for sid, shard in enumerate(self.shards):
+            if sid in self._dead_shards:
+                continue
+            try:
+                self._run_shard_epoch(sid, self._inflight_routes.get(sid, []))
+            except InjectedCrash:
+                # A storage-fault crash killed this shard process
+                # mid-epoch.  The other shards keep running; the cluster
+                # stalls at this epoch until recover() brings the shard
+                # back and the epoch is completed.
+                shard._enter_crashed_state(shard._next_epoch - 1)
+                self._dead_shards.add(sid)
+                crashed_now = True
+        if crashed_now:
+            self._crashed = True
+            return
+        self._finish_epoch()
+
+    def _finish_epoch(self) -> None:
+        assert self._inflight is not None
+        self._processed_events.extend(self._inflight)
+        self._inflight = None
+        self._inflight_routes = {}
+        epoch_id = self._epochs_done
+        self._epochs_done += 1
+        for target in self.fault_plan.kills_after(epoch_id):
+            self._apply_kill(target)
+
+    def _apply_kill(self, target: KillTarget) -> None:
+        """Destroy one failure domain at an epoch boundary."""
+        for sid in self.topology.shards_killed(target):
+            if sid not in self._dead_shards:
+                self.shards[sid].crash()
+                self._dead_shards.add(sid)
+        self._dead_nodes.update(self.topology.nodes_killed(target))
+        self._kills_applied.append(target)
+        if self._dead_shards:
+            self._crashed = True
+
+    def kill(self, target: KillTarget) -> None:
+        """Immediately destroy a failure domain (manual chaos)."""
+        self.topology.validate(target)
+        self._apply_kill(target)
+
+    # ------------------------------------------------------------------
+    # coordination: routing + dependency frontier
+    # ------------------------------------------------------------------
+
+    def _coordinate(
+        self, epoch_id: int, batch: Sequence[Event]
+    ) -> Dict[int, List[Event]]:
+        """Route the batch and pin the epoch's cross-shard frontier."""
+        gtxns = preprocess(batch, self.workload, 0)
+        self._total_txns += len(gtxns)
+        routes: Dict[int, List[Event]] = {}
+        cross: List[Transaction] = []
+        for txn in gtxns:
+            for sid in self.shard_map.op_shards(txn):
+                routes.setdefault(sid, []).append(txn.event)
+            if len(self.shard_map.shards_of_txn(txn)) > 1:
+                cross.append(txn)
+        entries_by_shard: Dict[int, List[FrontierEntry]] = {}
+        if cross:
+            self._cross_txns += len(cross)
+            # Frontier pass: execute the whole batch (cross-shard reads
+            # may observe values written by single-shard transactions of
+            # the same epoch) over a read-through view of all shard
+            # stores; writes land in a discard-after buffer, so shard
+            # state is untouched.
+            view = FederatedView(
+                self.shard_map.shard_of, [s.store for s in self.shards]
+            )
+            outcome = execute_tpg(view, build_tpg(gtxns))
+            for txn in cross:
+                aborted = txn.txn_id in outcome.aborted
+                reads: Dict[int, Tuple[float, ...]] = {}
+                if not aborted:
+                    for index, op in enumerate(txn.ops):
+                        if op.reads:
+                            reads[index] = tuple(outcome.read_values[op.uid])
+                entry = FrontierEntry(
+                    seq=txn.event.seq,
+                    home=self.shard_map.shard_of(txn.ops[0].ref),
+                    aborted=aborted,
+                    reads=reads,
+                )
+                for sid in self.shard_map.shards_of_txn(txn):
+                    entries_by_shard.setdefault(sid, []).append(entry)
+        # Every live shard durably commits its slice (possibly empty, so
+        # recovery can rely on one frontier segment per epoch) and
+        # learns the entries before processing its localized batch.
+        for sid, shard in enumerate(self.shards):
+            if sid in self._dead_shards:
+                continue
+            entries = entries_by_shard.get(sid, [])
+            frontier = self._frontier_of(sid)
+            for entry in entries:
+                frontier.record(entry)
+            if entries:
+                shard._charge_tracking(
+                    [self.costs.view_record] * len(entries)
+                )
+            if not shard.disk.logs.has_epoch(FRONTIER_STREAM, epoch_id):
+                payload = [entry.encoded() for entry in entries]
+                io_s = shard.disk.logs.commit_epoch(
+                    FRONTIER_STREAM, epoch_id, payload
+                )
+                shard._charge_runtime_io(io_s, len(encode(payload)))
+        return routes
+
+    def _frontier_of(self, sid: int) -> DependencyFrontier:
+        workload = self.shards[sid].workload
+        assert isinstance(workload, ShardWorkload)
+        return workload.frontier
+
+    def _run_shard_epoch(self, sid: int, events_s: Sequence[Event]) -> None:
+        shard = self.shards[sid]
+        if shard._next_epoch != self._epochs_done:
+            # Already past this epoch (catch-up re-entry after a
+            # mid-epoch shard crash elsewhere).
+            return
+        if shard._pending_events:
+            # A recovered shard re-enters here with the interrupted
+            # epoch's slice restored from durable storage; it was
+            # appended (and re-opened) there, so don't append again.
+            batch = list(shard._pending_events)
+            shard._pending_events = []
+        else:
+            batch = list(events_s)
+            if batch:
+                io_s = shard.disk.events.append_events(
+                    [e.encoded() for e in batch]
+                )
+                shard._charge_runtime_io(io_s, len(batch) * 24)
+        outputs = shard._process_epoch(batch)
+        self._deliver(outputs)
+        self._charge_replication(sid)
+
+    def _deliver(self, outputs: Sequence[Tuple[int, tuple]]) -> None:
+        for seq, output in outputs:
+            if output and output[0] == SHARD_INTERNAL:
+                continue
+            self.sink.deliver(seq, output)
+
+    def _charge_replication(self, sid: int) -> None:
+        """Ship this epoch's durable byte delta to the f replicas."""
+        shard = self.shards[sid]
+        delta = shard.disk.bytes_stored - self._disk_bytes[sid]
+        self._disk_bytes[sid] = shard.disk.bytes_stored
+        if self.replication > 0 and delta > 0:
+            shipped = delta * self.replication
+            io_s = self._replica_device.write(shipped)
+            shard._charge_runtime_io(io_s, 0)
+            self.replication_bytes += shipped
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> ClusterRecoveryReport:
+        """Recover every dead shard in parallel on the surviving nodes.
+
+        Fails loudly — :class:`ClusterDataLossError` — when the
+        correlated kill destroyed a shard's primary *and* every
+        placement replica; partial attempts (a shard recovery raising)
+        leave the cluster crashed so a retry resumes where it stopped.
+        """
+        if not self._crashed:
+            raise RecoveryError("recover() called without a cluster failure")
+        dead_shards = sorted(self._dead_shards)
+        dead_nodes = sorted(self._dead_nodes)
+        lost = [
+            sid
+            for sid in dead_shards
+            if not self.placement.survives(
+                sid, self.topology, self.replication, dead_nodes
+            )
+        ]
+        if lost:
+            lost_events = sum(
+                self.shards[sid]._events_processed for sid in lost
+            )
+            raise ClusterDataLossError(
+                f"DATA LOSS: correlated failure of nodes {dead_nodes} "
+                f"destroyed every copy of shard(s) {lost} under "
+                f"placement {self.placement.name!r} — replication factor "
+                f"{self.replication} < correlation width {len(dead_nodes)}; "
+                f"{lost_events} acknowledged events are unrecoverable",
+                lost_shards=lost,
+                lost_events=lost_events,
+            )
+
+        for sid in dead_shards:
+            if sid in self._shard_records:
+                continue  # recovered by an earlier (interrupted) attempt
+            shard = self.shards[sid]
+            frontier_io = self._reload_frontier(sid)
+            report = shard.recover()
+            # Recovered outputs converge with the pre-crash ones; the
+            # sink deduplicates re-deliveries.
+            self._deliver(list(shard.sink.outputs().items()))
+            self._shard_records[sid] = ShardRecoveryRecord(
+                shard=sid,
+                node=self.topology.node_of_shard(sid),
+                rack=self.topology.rack_of_shard(sid),
+                mttr_seconds=report.elapsed_total_seconds + frontier_io,
+                epochs_replayed=report.epochs_replayed,
+                events_replayed=report.events_replayed,
+                ladder=dict(report.ladder),
+                resumed=report.resumed,
+                checkpoint_epoch=report.checkpoint_epoch,
+                attempts=report.attempts,
+                watermark_degradations=report.watermark_degradations,
+            )
+
+        records = [self._shard_records[sid] for sid in dead_shards]
+        surviving = [
+            n for n in range(self.topology.num_nodes) if n not in dead_nodes
+        ]
+        makespan_s = self._aggregate_makespan(records, max(1, len(surviving)))
+        report = ClusterRecoveryReport(
+            placement=self.placement.name,
+            replication=self.replication,
+            kills=tuple(k.label() for k in self._kills_applied),
+            shards_killed=tuple(dead_shards),
+            nodes_killed=tuple(dead_nodes),
+            correlation_width=len(dead_nodes),
+            detection_seconds=self.detection_seconds,
+            makespan_seconds=makespan_s,
+            rto_seconds=self.detection_seconds + makespan_s,
+            rpo_events=0,
+            rpo_seconds=0.0,
+            mean_mttr_seconds=(
+                sum(r.mttr_seconds for r in records) / len(records)
+                if records
+                else 0.0
+            ),
+            max_mttr_seconds=max(
+                (r.mttr_seconds for r in records), default=0.0
+            ),
+            recovery_nodes=len(surviving),
+            per_shard=records,
+            watermark_degradations=sum(
+                r.watermark_degradations for r in records
+            ),
+        )
+        self._dead_shards.clear()
+        self._dead_nodes.clear()
+        self._kills_applied = []
+        self._shard_records = {}
+        self._crashed = False
+        if self._inflight is not None:
+            self._complete_interrupted_epoch()
+        return report
+
+    def _reload_frontier(self, sid: int) -> float:
+        """Rebuild the shard's frontier purely from its durable stream.
+
+        Proves recovery never depends on coordinator memory: everything
+        a shard needs to re-localize its transactions was group-committed
+        alongside its other log streams.  Returns the I/O seconds spent
+        (GC may have truncated epochs at or before the restart
+        checkpoint — those are never replayed, so their entries are not
+        needed).
+        """
+        shard = self.shards[sid]
+        frontier = self._frontier_of(sid)
+        frontier.clear()
+        crash_epoch = shard.crash_epoch
+        if crash_epoch is None:
+            return 0.0
+        io_total = 0.0
+        for epoch_id in range(crash_epoch + 1):
+            if shard.disk.logs.has_epoch(FRONTIER_STREAM, epoch_id):
+                payload, io_s = shard.disk.logs.read_epoch(
+                    FRONTIER_STREAM, epoch_id
+                )
+                frontier.load_epoch(payload)
+                io_total += io_s
+        return io_total
+
+    def _aggregate_makespan(
+        self, records: Sequence[ShardRecoveryRecord], num_nodes: int
+    ) -> float:
+        """Pack the dead shards' recoveries onto the surviving nodes.
+
+        Each surviving node is one multicore box that can host one shard
+        recovery at a time; LPT assignment + the resilient executor give
+        the cluster-level recovery wall-clock.
+        """
+        if not records:
+            return 0.0
+        weights = [r.mttr_seconds for r in records]
+        assignment, _loads = lpt_assign(weights, num_nodes)
+        machine = Machine(num_nodes)
+        executor = ResilientExecutor(
+            machine, self.costs.sync_handoff, self.costs.remote_fetch
+        )
+        tasks = [
+            SimTask(
+                uid=i,
+                worker=assignment[i],
+                cost=weights[i],
+                deps=(),
+                bucket=buckets.EXECUTE,
+                group=i,
+            )
+            for i in range(len(records))
+        ]
+        executor.run(tasks)
+        return machine.elapsed()
+
+    def _complete_interrupted_epoch(self) -> None:
+        """Finish a cluster epoch a mid-flight shard crash interrupted."""
+        for sid in range(self.topology.num_shards):
+            self._run_shard_epoch(sid, self._inflight_routes.get(sid, []))
+        self._finish_epoch()
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+
+    def merged_store(self) -> StateStore:
+        """Union of all shard slices — comparable to a global store."""
+        merged: Dict[str, Dict] = {}
+        for shard in self.shards:
+            if shard.store is None:
+                raise RecoveryError(
+                    "cannot merge stores while a shard is crashed"
+                )
+            for table, records in shard.store.snapshot().items():
+                merged.setdefault(table, {}).update(records)
+        return StateStore(merged)
+
+    def verify_exact(self) -> bool:
+        """Bit-exact equivalence with the serial single-instance run."""
+        # Imported here: repro.harness pulls in the chaos layer, which
+        # itself imports this package (sweep cells build clusters).
+        from repro.harness.runner import ground_truth
+
+        expected_state, expected_outputs = ground_truth(
+            self.workload, self._processed_events
+        )
+        return (
+            self.merged_store().equals(expected_state)
+            and self.sink.outputs() == expected_outputs
+        )

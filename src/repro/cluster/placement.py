@@ -1,0 +1,122 @@
+"""Replica-placement strategies for shard durability.
+
+Su & Zhou's correlated-failure analysis (PAPERS.md) shows that *where*
+replicas land relative to failure domains decides whether a k-correlated
+kill loses data: f replicas inside one rack survive any f process
+crashes but zero rack losses.  Both strategies here therefore spread
+replicas rack-first — the difference is *what* is replicated and hence
+the RTO/RPO trade-off (Vogel et al.):
+
+* ``checkpoint_spread`` ships every checkpoint and log segment to f
+  other nodes.  Recovery starts from the newest replicated checkpoint —
+  short RTO, and RPO 0 because the tail log is replicated too.
+* ``standby_replay`` ships only the log to a cold standby; there are no
+  running checkpoints to copy.  Recovery replays the dead shard's whole
+  history from initial state — RPO 0 as well, but RTO grows linearly
+  with the log length.  This is the classic low-overhead/slow-recovery
+  end point the paper's Fig. 10 contrasts checkpointing against.
+
+A shard *survives* a kill iff its primary node is alive (process-only
+crash) or at least one replica node is alive.  With replication factor
+below the correlation width of a kill, survival can fail — that is
+detected and reported loudly as data loss, never papered over.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Tuple, Type
+
+from repro.cluster.topology import ClusterTopology
+from repro.errors import ConfigError
+
+
+class PlacementStrategy(ABC):
+    """Where a shard's durable bytes live, and what recovery they allow."""
+
+    name = "abstract"
+
+    def replica_nodes(
+        self, shard: int, topology: ClusterTopology, replication: int
+    ) -> Tuple[int, ...]:
+        """The f nodes holding copies of the shard's durable bytes.
+
+        Rack-first spread: other racks before the primary's rack, nearer
+        (cyclic node distance) before farther — so replication factor f
+        tolerates f node losses and, while f < nodes_per_rack, each
+        extra replica buys tolerance of one more *rack* loss.
+        """
+        primary = topology.node_of_shard(shard)
+        primary_rack = topology.rack_of_node(primary)
+        others = [n for n in range(topology.num_nodes) if n != primary]
+        others.sort(
+            key=lambda n: (
+                topology.rack_of_node(n) == primary_rack,
+                (n - primary) % topology.num_nodes,
+            )
+        )
+        return tuple(others[:replication])
+
+    def survives(
+        self,
+        shard: int,
+        topology: ClusterTopology,
+        replication: int,
+        dead_nodes: Iterable[int],
+    ) -> bool:
+        """Can the shard be recovered after the given nodes died?"""
+        dead = set(dead_nodes)
+        primary = topology.node_of_shard(shard)
+        if primary not in dead:
+            return True
+        return any(
+            n not in dead
+            for n in self.replica_nodes(shard, topology, replication)
+        )
+
+    @abstractmethod
+    def shard_kwargs(self) -> Dict[str, object]:
+        """Extra FTScheme kwargs the strategy imposes on every shard."""
+
+
+class CheckpointSpread(PlacementStrategy):
+    """Checkpoints + logs replicated to f other failure domains."""
+
+    name = "checkpoint_spread"
+
+    def shard_kwargs(self) -> Dict[str, object]:
+        return {}
+
+
+class StandbyReplay(PlacementStrategy):
+    """Cold standby holding only the log; recovery replays from scratch.
+
+    Disabling periodic checkpoints (a practically-infinite snapshot
+    interval keeps only the initial epoch -1 snapshot) also disables log
+    GC, so the standby always holds the full history needed for replay.
+    """
+
+    name = "standby_replay"
+
+    #: Effectively "never checkpoint" — no run is this many epochs long.
+    NO_CHECKPOINTS = 10**6
+
+    def shard_kwargs(self) -> Dict[str, object]:
+        return {"snapshot_interval": self.NO_CHECKPOINTS}
+
+
+_STRATEGIES: Dict[str, Type[PlacementStrategy]] = {
+    CheckpointSpread.name: CheckpointSpread,
+    StandbyReplay.name: StandbyReplay,
+}
+
+PLACEMENT_NAMES: Tuple[str, ...] = tuple(sorted(_STRATEGIES))
+
+
+def get_placement(name: str) -> PlacementStrategy:
+    try:
+        return _STRATEGIES[name]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown placement {name!r}; choose from {PLACEMENT_NAMES}"
+        ) from None

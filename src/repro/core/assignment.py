@@ -20,7 +20,7 @@ import heapq
 import math
 from typing import Collection, List, Sequence, Tuple
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReassignmentError
 
 
 def _check_weights(weights: Sequence[float]) -> None:
@@ -99,7 +99,12 @@ def lpt_reassign(
             raise ConfigError(f"task {i} assigned to unknown worker {wid}")
     survivors = [w for w in range(num_workers) if w not in dead]
     if not survivors:
-        raise ConfigError("no surviving workers to re-assign onto")
+        # A recovery condition, not a usage bug: every worker died, so
+        # the residual weights have nowhere to go.  Raise the typed
+        # recovery error *before* touching the heap — an empty survivor
+        # list would otherwise surface as an index error (or a silent
+        # no-op re-pinning work to dead workers) deep in the LPT loop.
+        raise ReassignmentError("no surviving workers to re-assign onto")
     done = set(completed)
     residual = [i for i in range(len(weights)) if i not in done]
 

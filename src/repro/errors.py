@@ -80,5 +80,22 @@ class ReassignmentError(RecoveryError):
     """
 
 
+class ClusterDataLossError(RecoveryError):
+    """A correlated failure destroyed every copy of some shard's state.
+
+    Raised when the dead failure domains cover a shard's primary *and*
+    all of its placement replicas — the replication factor was below the
+    correlation width of the fault.  The cluster refuses to recover into
+    a silently-wrong state; the error names the lost shards and the
+    events whose effects cannot be reconstructed (the RPO of the
+    incident).
+    """
+
+    def __init__(self, message: str, lost_shards=(), lost_events: int = 0):
+        super().__init__(message)
+        self.lost_shards = tuple(lost_shards)
+        self.lost_events = lost_events
+
+
 class WorkloadError(ReproError):
     """A workload generator was asked for an impossible configuration."""

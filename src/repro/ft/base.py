@@ -172,6 +172,10 @@ class RecoveryReport:
     #: virtual seconds across *all* attempts of this crash, including
     #: the time crashed attempts burned before dying (true MTTR).
     elapsed_total_seconds: float = 0.0
+    #: durable progress watermarks found damaged (torn/corrupt slot) and
+    #: discarded — each one silently degraded an attempt to a fresh
+    #: start, which only costs speed but is worth surfacing.
+    watermark_degradations: int = 0
 
     def degraded(self) -> bool:
         """True when any rung below the fast path was taken."""
@@ -352,6 +356,7 @@ class FTScheme(ABC):
         self._wasted_recovery_events = 0
         self._wasted_recovery_chains = 0
         self._chains_done_in_flight = 0
+        self._watermark_degradations = 0
         if self.takes_snapshots and self.disk.snapshots.latest_epoch() is None:
             # Epoch -1 snapshot: the initial state, so recovery always
             # has a base even if the crash precedes the first interval.
@@ -641,6 +646,7 @@ class FTScheme(ABC):
         self._wasted_recovery_events = 0
         self._wasted_recovery_chains = 0
         self._chains_done_in_flight = 0
+        self._watermark_degradations = 0
         self._last_watermark_state = None
         self._recovery_seconds_burned = 0.0
         self._drop_volatile()
@@ -873,6 +879,7 @@ class FTScheme(ABC):
             wasted_chains=self._wasted_recovery_chains,
             attempts=self._recovery_attempts,
             elapsed_total_seconds=self._recovery_seconds_burned + elapsed,
+            watermark_degradations=self._watermark_degradations,
         )
 
     # ------------------------------------------------------------------
@@ -903,6 +910,10 @@ class FTScheme(ABC):
         try:
             record, io_s = self.disk.progress.load()
         except DEGRADABLE_ERRORS:
+            # A damaged watermark only loses resume progress, never
+            # correctness — but count the silent fresh-start so reports
+            # can surface how often the slot was found torn.
+            self._watermark_degradations += 1
             self.disk.progress.clear()
             return None
         machine.spend_all(buckets.RELOAD, io_s)

@@ -41,7 +41,16 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import SCHEMES
+from repro.cluster import (
+    PLACEMENT_NAMES,
+    ClusterFault,
+    ClusterFaultPlan,
+    ClusterTopology,
+    ShardedCluster,
+    parse_kill,
+)
 from repro.errors import (
+    ClusterDataLossError,
     ConfigError,
     InjectedCrash,
     ReassignmentError,
@@ -100,6 +109,18 @@ class ChaosConfig:
     #: retained checkpoints — gives the checkpoint ladder a place to land.
     gc_keep_checkpoints: int = 2
     seed: int = 7
+    #: cluster cells: placement strategies × correlated-kill targets
+    #: (empty tuples disable the family).  A kill may name several
+    #: simultaneous domains joined by ``+`` (k-correlated failure).
+    cluster_placements: Tuple[str, ...] = PLACEMENT_NAMES
+    cluster_kills: Tuple[str, ...] = ("shard:0", "node:0.0", "rack:0")
+    cluster_shards: int = 4
+    cluster_racks: int = 2
+    cluster_nodes_per_rack: int = 2
+    cluster_replication: int = 1
+    #: also run the overwhelm cell: a correlated kill wider than the
+    #: replication budget, which must end in a *loud* data-loss error.
+    cluster_overwhelm: bool = True
 
     def __post_init__(self) -> None:
         unknown = set(self.schemes) - set(SCHEMES)
@@ -126,6 +147,16 @@ class ChaosConfig:
                 "total_epochs must exceed snapshot_interval so the crash "
                 "loses epochs past the checkpoint"
             )
+        unknown_placements = set(self.cluster_placements) - set(PLACEMENT_NAMES)
+        if unknown_placements:
+            raise ConfigError(
+                f"cluster placements must be among {PLACEMENT_NAMES}"
+            )
+        for kill in self.cluster_kills:
+            for part in kill.split("+"):
+                parse_kill(part)
+        if self.cluster_replication < 0:
+            raise ConfigError("cluster_replication must be >= 0")
 
     @property
     def num_events(self) -> int:
@@ -211,6 +242,7 @@ def smoke_config(seed: int = 7) -> ChaosConfig:
             "recovery.epoch-replayed",
             "recovery.finalize",
         ),
+        cluster_kills=("node:0.0", "rack:0"),
         seed=seed,
     )
 
@@ -474,6 +506,115 @@ def _run_one(
     return run
 
 
+#: The overwhelm cell's kill: the primary's node plus the node its
+#: first replica lands on — wider than replication factor 1.
+OVERWHELM_KILL = "node:0.0+node:1.0"
+
+
+def _run_cluster_cell(
+    placement: str,
+    kill: str,
+    cfg: ChaosConfig,
+    replication: Optional[int] = None,
+    expect_loss: bool = False,
+) -> ChaosRun:
+    """One correlated-failure cell: kill domain(s), recover, verify.
+
+    ``kill`` may join several targets with ``+`` — they die at the same
+    epoch boundary (one k-correlated event).  Within the replication
+    budget the cell must recover to the exact serial ground truth; an
+    ``expect_loss`` cell must instead end in a *loud*
+    :class:`ClusterDataLossError` (silent wrong state fails the sweep).
+    """
+    workload = _make_workload(cfg)
+    events = workload.generate(cfg.num_events, cfg.seed)
+    repl = cfg.cluster_replication if replication is None else replication
+    kill_epoch = max(1, cfg.total_epochs // 2)
+    topology = ClusterTopology(
+        cfg.cluster_shards, cfg.cluster_racks, cfg.cluster_nodes_per_rack
+    )
+    plan = ClusterFaultPlan(
+        kills=[
+            ClusterFault(part, after_epoch=kill_epoch)
+            for part in kill.split("+")
+        ]
+    )
+    cluster = ShardedCluster(
+        workload,
+        topology,
+        placement=placement,
+        replication=repl,
+        workers_per_shard=max(1, cfg.num_workers // 2),
+        epoch_len=cfg.epoch_len,
+        snapshot_interval=cfg.snapshot_interval,
+        gc_keep_checkpoints=cfg.gc_keep_checkpoints,
+        fault_plan=plan,
+    )
+    run = ChaosRun(
+        scheme="CLUSTER",
+        fault=f"{placement}/r{repl}",
+        crash_point=kill,
+        outcome=OUTCOME_UNEXPECTED,
+        ok=False,
+    )
+    try:
+        cluster.process_stream(events)
+        if not cluster.crashed:
+            run.detail = "kill never fired"
+            return run
+        run.actual_point = f"after epoch {kill_epoch}"
+        try:
+            report = cluster.recover()
+        except ClusterDataLossError as exc:
+            run.outcome = OUTCOME_FAILED_LOUD
+            run.ok = expect_loss
+            run.detail = (
+                f"lost shards {list(exc.lost_shards)} "
+                f"({exc.lost_events} events)"
+            )
+            if not expect_loss:
+                run.detail = "unexpected data loss: " + run.detail
+            run.fault_fired = True
+            return run
+        if expect_loss:
+            run.detail = (
+                "under-replicated correlated kill recovered instead of "
+                "reporting data loss"
+            )
+            return run
+        run.fault_fired = True
+        run.mttr_seconds = report.rto_seconds
+        run.attempts = max(
+            (r.attempts for r in report.per_shard), default=1
+        )
+        run.resumed = any(r.resumed for r in report.per_shard)
+        run.events_replayed = sum(
+            r.events_replayed for r in report.per_shard
+        )
+        for record in report.per_shard:
+            for rung, count in record.ladder.items():
+                run.ladder[rung] = run.ladder.get(rung, 0) + count
+        cluster.process_stream([])
+        if not cluster.verify_exact():
+            run.detail = (
+                "SILENT DIVERGENCE: recovered cluster state does not "
+                "match the serial single-instance run"
+            )
+            return run
+        run.ok = True
+        run.outcome = OUTCOME_EXACT
+        run.detail = (
+            f"shards {list(report.shards_killed)} recovered on "
+            f"{report.recovery_nodes} nodes; "
+            f"RTO {report.rto_seconds * 1e3:.2f}ms"
+        )
+    except Exception as exc:  # noqa: BLE001 — the sweep must report, not die
+        run.outcome = OUTCOME_UNEXPECTED
+        run.ok = False
+        run.detail = f"{type(exc).__name__}: {exc}"
+    return run
+
+
 def run_chaos(cfg: Optional[ChaosConfig] = None) -> ChaosReport:
     """Run the full sweep; every cell is independent and seeded."""
     cfg = cfg or ChaosConfig()
@@ -526,6 +667,22 @@ def run_chaos(cfg: Optional[ChaosConfig] = None) -> ChaosReport:
                     cfg,
                     point_specs=_point_specs(NESTED_CELL),
                     label_point=NESTED_CELL,
+                )
+            )
+    if cfg.cluster_placements and cfg.cluster_kills:
+        for placement in cfg.cluster_placements:
+            for kill in cfg.cluster_kills:
+                runs.append(_run_cluster_cell(placement, kill, cfg))
+        if cfg.cluster_overwhelm:
+            # Correlation width 2 against replication factor 1: the
+            # cluster must refuse to fabricate state and fail loudly.
+            runs.append(
+                _run_cluster_cell(
+                    "checkpoint_spread",
+                    OVERWHELM_KILL,
+                    cfg,
+                    replication=1,
+                    expect_loss=True,
                 )
             )
     return ChaosReport(config=cfg, runs=runs)

@@ -31,6 +31,7 @@ history are kept for the recovery fallback ladder to handle loudly.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 from typing import Any, List, Optional, Tuple
 
@@ -276,6 +277,13 @@ class FileProgressStore(ProgressStore):
     ``progress.bin`` holds the watermark, ``chain_mark.bin`` the
     in-flight epoch's chain counter.  A new process reopening the root
     finds the watermark of a recovery that died mid-flight and resumes.
+
+    Slot writes are atomic (write to a temp sibling, then
+    ``os.replace``): a plain in-place overwrite can be interrupted
+    between truncate and write, leaving a zero-length slot that fails
+    framing verification and silently degrades the next recovery to a
+    fresh start.  With the rename, a reader only ever sees the old slot
+    or the new one, never a torn intermediate.
     """
 
     def __init__(
@@ -287,6 +295,11 @@ class FileProgressStore(ProgressStore):
         super().__init__(device, faults)
         self._root = Path(root)
         self._root.mkdir(parents=True, exist_ok=True)
+        # Debris from a crash between temp-write and rename: the rename
+        # never happened, so the published slot (if any) is still the
+        # previous consistent one and the temp file is garbage.
+        for stale in self._root.glob("*.tmp"):
+            stale.unlink()
         slot_path = self._root / "progress.bin"
         if slot_path.exists():
             self._slot = slot_path.read_bytes()
@@ -294,10 +307,16 @@ class FileProgressStore(ProgressStore):
         if mark_path.exists():
             self._chain_mark = mark_path.read_bytes()
 
+    def _atomic_write(self, name: str, data: bytes) -> None:
+        path = self._root / name
+        tmp = self._root / (name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+
     def save(self, record: Any, charge_bytes: Optional[int] = None) -> float:
         seconds = super().save(record, charge_bytes)
         if self._slot is not None:
-            (self._root / "progress.bin").write_bytes(self._slot)
+            self._atomic_write("progress.bin", self._slot)
         mark_path = self._root / "chain_mark.bin"
         if mark_path.exists():
             mark_path.unlink()
@@ -314,7 +333,7 @@ class FileProgressStore(ProgressStore):
     def save_chain_mark(self, mark: Any) -> float:
         seconds = super().save_chain_mark(mark)
         if self._chain_mark is not None:
-            (self._root / "chain_mark.bin").write_bytes(self._chain_mark)
+            self._atomic_write("chain_mark.bin", self._chain_mark)
         return seconds
 
 

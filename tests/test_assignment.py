@@ -14,7 +14,7 @@ from repro.core.assignment import (
     makespan,
     round_robin_assign,
 )
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ReassignmentError
 
 
 class TestLPT:
@@ -89,9 +89,20 @@ class TestLPTReassign:
         # Residual loads exclude the completed task's weight.
         assert sum(loads) == pytest.approx(5.0)
 
-    def test_no_survivors_rejected(self):
-        with pytest.raises(ConfigError):
+    def test_no_survivors_raises_typed_reassignment_error(self):
+        # Every worker dead: a *recovery* condition, not a usage bug —
+        # callers catch ReassignmentError, keep the watermark intact and
+        # retry on healthy workers.  Must raise immediately, before any
+        # heap work (an empty survivor pool would otherwise divide the
+        # residual across zero machines).
+        with pytest.raises(ReassignmentError):
             lpt_reassign([1.0], [0], (), dead_workers=(0, 1), num_workers=2)
+        # Even with nothing left to move, an empty survivor set is still
+        # an error — the caller must learn the machine is gone.
+        with pytest.raises(ReassignmentError):
+            lpt_reassign(
+                [1.0], [0], completed=(0,), dead_workers=(0, 1), num_workers=2
+            )
 
     def test_mismatched_lengths_rejected(self):
         with pytest.raises(ConfigError):
