@@ -1,119 +1,47 @@
-"""Soak: repeated failures across mixed workloads, MTTR accounting.
+"""Soak: sustained traffic with seeded failovers, graded against SLOs.
 
-Drives every recoverable scheme through a long stream punctuated by
-repeated crashes, verifying exactness after each recovery, and reports
-mean-time-to-recover statistics — the operational view of the paper's
-recovery-time results.
-
-With ``--chaos`` the soak additionally arms a seeded
-:class:`~repro.storage.faults.FaultInjector` that randomly tears log
-flushes throughout the run, so recoveries exercise the fallback ladder
-(degraded cycles are counted in the report) while exactness must still
-hold on every cycle.
+This example is a thin wrapper over the real harness — it runs exactly
+what ``repro soak`` runs.  The soak drives a Zipf-skewed Grep&Sum
+stream through the recovery scheme at a calibrated offered rate,
+crashes and recovers it on a seeded schedule, serves bounded-staleness
+degraded reads from the last durable checkpoint while the engine is
+down, meters admission through a token bucket during catch-up, and
+grades the whole run against declarative SLO targets (p99/p999
+latency, availability error budget, MTTR, RPO).
 
 Run::
 
-    python examples/soak_failover.py [crashes] [--chaos]
+    python examples/soak_failover.py             # bounded smoke pair
+    python examples/soak_failover.py --cluster   # cluster cell only
+    python examples/soak_failover.py --chaos     # + torn log flushes
+
+Anything beyond the flags above is passed straight through to the
+``repro soak`` CLI, e.g.::
+
+    python examples/soak_failover.py --epochs 32 --crashes 4 --json -
 """
 
 from __future__ import annotations
 
 import sys
 
-from repro import SCHEMES
-from repro.harness.report import format_seconds, print_figure, render_table
-from repro.harness.runner import ground_truth
-from repro.storage.faults import FaultInjector, FaultSpec
-from repro.storage.stores import Disk
-from repro.workloads.streaming_ledger import StreamingLedger
+from repro.cli import main as repro_main
 
 
-def soak(scheme_cls, crashes: int, chaos: bool = False):
-    workload = StreamingLedger(
-        256,
-        transfer_ratio=0.6,
-        multi_partition_ratio=0.3,
-        skew=0.5,
-        query_ratio=0.1,
-        num_partitions=8,
-    )
-    kwargs = {}
-    if chaos:
-        stream = scheme_cls.log_streams[0] if scheme_cls.log_streams else None
-        specs = (
-            [FaultSpec("torn", target="log", probability=0.25, stream=stream)]
-            if stream is not None
-            else [FaultSpec("torn", target="snapshot", probability=0.25)]
-        )
-        kwargs["disk"] = Disk(faults=FaultInjector(specs, seed=42))
-        # Keep an older checkpoint around so a torn one is survivable.
-        kwargs["gc_keep_checkpoints"] = 2
-    scheme = scheme_cls(
-        workload, num_workers=8, epoch_len=128, snapshot_interval=4, **kwargs
-    )
-    segment = 128 * 7  # crash lands 2 epochs past a checkpoint
-    events = workload.generate(segment * crashes, seed=99)
-    recovery_times = []
-    degraded_cycles = 0
-    for i in range(crashes):
-        scheme.process_stream(events[i * segment : (i + 1) * segment])
-        scheme.crash()
-        report = scheme.recover()
-        recovery_times.append(report.elapsed_seconds)
-        if report.degraded():
-            degraded_cycles += 1
-        expected, _outputs = ground_truth(workload, events[: (i + 1) * segment])
-        assert scheme.store.equals(expected), f"divergence after crash {i}"
-    assert len(scheme.sink) == segment * crashes
-    return recovery_times, degraded_cycles
-
-
-def main() -> None:
-    args = [a for a in sys.argv[1:] if a != "--chaos"]
-    chaos = "--chaos" in sys.argv[1:]
-    crashes = int(args[0]) if args else 5
-    rows = []
-    for name, scheme_cls in SCHEMES.items():
-        if name == "NAT":
-            continue
-        times, degraded = soak(scheme_cls, crashes, chaos=chaos)
-        rows.append(
-            [
-                name,
-                crashes,
-                format_seconds(sum(times) / len(times)),
-                format_seconds(max(times)),
-                degraded if chaos else "-",
-                "ok",
-            ]
-        )
-    title = f"Soak — {crashes} crash/recover cycles on Streaming Ledger"
-    if chaos:
-        title += " (chaos: seeded torn flushes)"
-    print_figure(
-        title,
-        render_table(
-            [
-                "scheme",
-                "crashes",
-                "mean recovery",
-                "worst recovery",
-                "degraded",
-                "state",
-            ],
-            rows,
-        ),
-    )
-    print(
-        "\nevery cycle re-verified the full stream against the serial\n"
-        "ground truth; exactly-once delivery held throughout."
-    )
-    if chaos:
-        print(
-            "chaos mode: torn flushes were injected throughout; degraded\n"
-            "counts cycles the recovery fallback ladder had to step down."
-        )
+def main() -> int:
+    passthrough = list(sys.argv[1:])
+    args = ["soak"]
+    if "--cluster" in passthrough:
+        passthrough.remove("--cluster")
+        args += ["--smoke", "--mode", "cluster"]
+    elif any(a.startswith("--epochs") or a.startswith("--keys")
+             for a in passthrough):
+        # Caller is sizing the run explicitly; don't force smoke scale.
+        args += ["--mode", "single"]
+    else:
+        args += ["--smoke", "--mode", "both"]
+    return repro_main(args + passthrough)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -5,8 +5,9 @@ Subcommands::
     repro list                      # available workloads/schemes/figures
     repro run --workload SL --scheme MSR [sizing options]
     repro figure fig11 [--quick]
-    repro chaos [--smoke] [--seed N]
+    repro chaos [--smoke] [--seed N] [--max-mttr S]
     repro cluster --shards 8 --placement checkpoint_spread --kill rack:0
+    repro soak [--smoke] [--mode single|cluster|both] [--bench BENCH_soak.json]
 
 ``repro run`` executes one runtime → crash → recovery experiment with
 full verification and prints both reports; ``repro figure`` regenerates
@@ -18,7 +19,14 @@ ladder) or fails loudly with a documented storage error.  ``repro
 cluster`` runs a sharded cluster across a failure-domain topology,
 injects a correlated kill (whole node or whole rack), recovers the dead
 shards in parallel on the survivors and verifies the result against the
-serial single-instance ground truth.
+serial single-instance ground truth.  ``repro soak`` runs the
+sustained-traffic SLA soak — seeded crash schedule, degraded-mode
+serving, token-bucket admission — grades the run against declarative
+SLO targets and gates its metrics against the committed
+``BENCH_soak.json`` perf trajectory.
+
+Exit codes are CI contracts: ``chaos`` and ``soak`` return non-zero on
+any verification failure, data loss, SLO breach or perf regression.
 """
 
 from __future__ import annotations
@@ -111,6 +119,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument(
+        "--schemes",
+        default=None,
+        metavar="CSV",
+        help="comma-separated scheme subset (e.g. MSR,WAL); default: "
+        "the full sweep's schemes",
+    )
+    chaos.add_argument(
+        "--no-cluster",
+        action="store_true",
+        help="skip the cluster-kill cell family",
+    )
+    chaos.add_argument(
+        "--max-mttr",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="SLO gate: fail (exit 1) if any cell's MTTR exceeds this "
+        "bound (virtual seconds)",
+    )
+    chaos.add_argument(
         "--json",
         type=Path,
         default=None,
@@ -171,6 +199,99 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="export topology, runtime and recovery reports as JSON "
         "(bare --json prints to stdout)",
+    )
+
+    soak = sub.add_parser(
+        "soak",
+        help="sustained-traffic SLA soak: seeded crash schedule, "
+        "degraded-mode serving, SLO grading and the BENCH_soak.json "
+        "perf-trajectory gate",
+    )
+    soak.add_argument(
+        "--mode", choices=("single", "cluster", "both"), default="single"
+    )
+    soak.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded CI pair (small key space, 2 crash cycles, "
+        "single-node + one cluster cell); ignores the sizing flags",
+    )
+    soak.add_argument(
+        "--scheme",
+        choices=sorted(s for s in SCHEMES if s != "NAT"),
+        default="MSR",
+    )
+    soak.add_argument("--keys", type=int, default=4096)
+    soak.add_argument("--epoch-len", type=int, default=256)
+    soak.add_argument("--epochs", type=int, default=48)
+    soak.add_argument(
+        "--crashes", type=int, default=3,
+        help="seeded crash/recover cycles armed across the run",
+    )
+    soak.add_argument(
+        "--workers", type=int, default=4,
+        help="workers per engine (single) / per shard (cluster)",
+    )
+    soak.add_argument("--snapshot-interval", type=int, default=4)
+    soak.add_argument("--skew", type=float, default=0.6)
+    soak.add_argument("--seed", type=int, default=7)
+    soak.add_argument("--shards", type=int, default=4)
+    soak.add_argument("--racks", type=int, default=2)
+    soak.add_argument("--nodes-per-rack", type=int, default=2)
+    soak.add_argument("--replication", type=int, default=1)
+    soak.add_argument(
+        "--placement", choices=sorted(PLACEMENT_NAMES),
+        default="checkpoint_spread",
+    )
+    soak.add_argument(
+        "--chaos",
+        action="store_true",
+        help="also arm seeded torn-flush storage faults (single mode)",
+    )
+    soak.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip ground-truth verification (faster; NOT for CI)",
+    )
+    soak.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="override the p99 end-to-end latency target",
+    )
+    soak.add_argument(
+        "--slo-p999", type=float, default=None, metavar="SECONDS",
+        help="override the p999 end-to-end latency target",
+    )
+    soak.add_argument(
+        "--slo-availability", type=float, default=None, metavar="FRACTION",
+        help="override the availability target (e.g. 0.995)",
+    )
+    soak.add_argument(
+        "--slo-mttr", type=float, default=None, metavar="SECONDS",
+        help="override the worst-tolerated single-recovery time",
+    )
+    soak.add_argument(
+        "--json",
+        type=Path,
+        nargs="?",
+        const=Path("-"),
+        default=None,
+        metavar="PATH",
+        help="export the full soak report as JSON (bare --json prints "
+        "to stdout)",
+    )
+    soak.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="gate this run's metrics against the committed trajectory "
+        "at PATH (throughput/p99/MTTR tolerance bands)",
+    )
+    soak.add_argument(
+        "--update-bench",
+        action="store_true",
+        help="append this run's record to the --bench trajectory after "
+        "gating",
     )
 
     cal = sub.add_parser(
@@ -425,12 +546,29 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         smoke_config,
     )
     from repro.harness.export import write_json
+    from repro.harness.stats import latency_summary
 
     cfg = (
         smoke_config(seed=args.seed)
         if args.smoke
         else replace(ChaosConfig(), seed=args.seed)
     )
+    if args.schemes:
+        wanted = tuple(
+            s.strip().upper() for s in args.schemes.split(",") if s.strip()
+        )
+        unknown = sorted(set(wanted) - set(SCHEMES))
+        if unknown:
+            print(f"unknown scheme(s): {', '.join(unknown)}")
+            return 2
+        cfg = replace(cfg, schemes=wanted)
+    if args.no_cluster:
+        cfg = replace(
+            cfg,
+            cluster_placements=(),
+            cluster_kills=(),
+            cluster_overwhelm=False,
+        )
     grid = len(cfg.schemes) * len(cfg.fault_kinds) * len(cfg.crash_points)
     recovery_cells = sum(
         len(cfg.recovery_crash_points)
@@ -507,14 +645,39 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"\nexported {len(report.runs)} cells to {args.json}")
     counts = report.outcome_counts()
     summary = ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+    mttrs = [run.mttr_seconds for run in report.runs if run.mttr_seconds > 0]
+    if mttrs:
+        digest = latency_summary(mttrs)
+        print(
+            f"\nMTTR digest over {digest['count']} recoveries: "
+            f"p50 {format_seconds(digest['p50'])}, "
+            f"p99 {format_seconds(digest['p99'])}, "
+            f"max {format_seconds(digest['max'])}"
+        )
+    status = 0
     if report.passed:
         print(f"\nall {len(report.runs)} cells verified — {summary}")
-        return 0
-    print(
-        f"\n{len(report.failures)} cell(s) FAILED "
-        f"(silent divergence or undocumented error) — {summary}"
-    )
-    return 1
+    else:
+        print(
+            f"\n{len(report.failures)} cell(s) FAILED "
+            f"(silent divergence or undocumented error) — {summary}"
+        )
+        status = 1
+    if args.max_mttr is not None:
+        worst = max(mttrs, default=0.0)
+        if worst > args.max_mttr:
+            print(
+                f"MTTR SLO BREACH: worst cell "
+                f"{format_seconds(worst)} exceeds --max-mttr "
+                f"{format_seconds(args.max_mttr)}"
+            )
+            status = 1
+        else:
+            print(
+                f"MTTR SLO: worst cell {format_seconds(worst)} within "
+                f"--max-mttr {format_seconds(args.max_mttr)}"
+            )
+    return status
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -693,6 +856,182 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+    from dataclasses import replace
+
+    from repro.errors import ClusterDataLossError
+    from repro.harness.export import write_json
+    from repro.harness.slo import (
+        append_record,
+        load_trajectory,
+        new_trajectory,
+        regression_gate,
+    )
+    from repro.harness.soak import (
+        SOAK_SCHEMA,
+        SoakConfig,
+        bench_record,
+        run_soak,
+        smoke_configs,
+        soak_payload,
+    )
+
+    if args.update_bench and args.bench is None:
+        print("--update-bench requires --bench PATH")
+        return 2
+
+    slo_overrides: Dict[str, float] = {}
+    if args.slo_p99 is not None:
+        slo_overrides["p99_latency_seconds"] = args.slo_p99
+    if args.slo_p999 is not None:
+        slo_overrides["p999_latency_seconds"] = args.slo_p999
+    if args.slo_availability is not None:
+        slo_overrides["availability"] = args.slo_availability
+    if args.slo_mttr is not None:
+        slo_overrides["max_mttr_seconds"] = args.slo_mttr
+
+    if args.smoke:
+        configs = [
+            cfg
+            for cfg in smoke_configs(seed=args.seed)
+            if args.mode == "both" or cfg.mode == args.mode
+        ]
+        if args.chaos:
+            configs = [
+                replace(cfg, chaos=True) if cfg.mode == "single" else cfg
+                for cfg in configs
+            ]
+    else:
+        modes = ("single", "cluster") if args.mode == "both" else (args.mode,)
+        configs = [
+            SoakConfig(
+                mode=mode,
+                scheme=args.scheme,
+                num_keys=args.keys,
+                epoch_len=args.epoch_len,
+                epochs=args.epochs,
+                crashes=args.crashes,
+                num_workers=args.workers,
+                snapshot_interval=args.snapshot_interval,
+                skew=args.skew,
+                seed=args.seed,
+                chaos=args.chaos and mode == "single",
+                verify=not args.no_verify,
+                shards=args.shards,
+                racks=args.racks,
+                nodes_per_rack=args.nodes_per_rack,
+                replication=args.replication,
+                placement=args.placement,
+            )
+            for mode in modes
+        ]
+    if slo_overrides:
+        configs = [
+            replace(cfg, slo=replace(cfg.slo, **slo_overrides))
+            for cfg in configs
+        ]
+
+    trajectory = (
+        load_trajectory(args.bench)
+        if args.bench is not None and args.bench.exists()
+        else new_trajectory()
+    )
+    status = 0
+    runs_payload: List[Dict] = []
+    for cfg in configs:
+        print(
+            f"soak [{cfg.mode}] {cfg.cell()}: {cfg.epochs} epochs × "
+            f"{cfg.epoch_len} events, {cfg.crashes} seeded crash "
+            f"cycle(s), seed {cfg.seed} ..."
+        )
+        try:
+            result = run_soak(cfg)
+        except ClusterDataLossError as exc:
+            print(
+                f"\nDATA LOSS: shards {list(exc.lost_shards)} lost every "
+                f"replica ({exc.lost_events} events unrecoverable) — "
+                f"soak aborted"
+            )
+            return 1
+        runs_payload.append(soak_payload(result))
+        lat, mttr = result.latency, result.mttr
+        if not cfg.verify:
+            verified = "skipped (--no-verify)"
+        else:
+            verified = "OK" if result.verified else "FAIL"
+        print_figure(
+            f"Soak — {cfg.mode} {cfg.scheme} ({cfg.cell()})",
+            render_table(
+                ["metric", "value"],
+                [
+                    ["events", str(result.events_total)],
+                    ["virtual duration", format_seconds(result.duration_seconds)],
+                    ["offered rate", format_throughput(result.offered_eps)],
+                    ["throughput", format_throughput(result.throughput_eps)],
+                    [
+                        "latency p50/p99/p999",
+                        f"{format_seconds(lat['p50'])} / "
+                        f"{format_seconds(lat['p99'])} / "
+                        f"{format_seconds(lat['p999'])}",
+                    ],
+                    ["availability", f"{result.availability:.4f}"],
+                    ["outage", format_seconds(result.outage_seconds)],
+                    [
+                        "MTTR mean/max",
+                        f"{format_seconds(mttr['mean'])} / "
+                        f"{format_seconds(mttr['max'])}",
+                    ],
+                    ["RTO max", format_seconds(result.rto_max_seconds)],
+                    ["RPO", f"{result.rpo_events} events"],
+                    [
+                        "degraded reads",
+                        f"{result.degraded_reads} "
+                        f"({result.stale_reads} stale-tagged)",
+                    ],
+                    ["deferred admissions", str(result.deferred_events)],
+                    ["verified vs ground truth", verified],
+                ],
+            ),
+        )
+        print(result.slo.describe())
+        if cfg.verify and not result.verified:
+            print(
+                "VERIFICATION FAILURE: post-recovery state, outputs or "
+                "degraded reads diverge from the serial ground truth"
+            )
+        if not result.ok:
+            status = 1
+        if args.bench is not None:
+            record = bench_record(result)
+            gate = regression_gate(trajectory, record)
+            print(gate.describe())
+            if not gate.passed:
+                status = 1
+            if args.update_bench:
+                append_record(args.bench, record)
+                print(f"appended record for cell {record['cell']} to {args.bench}")
+        print()
+    if args.json is not None:
+        doc = {"schema": SOAK_SCHEMA, "runs": runs_payload}
+        if str(args.json) == "-":
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            write_json(args.json, doc)
+            print(f"exported {len(runs_payload)} soak run(s) to {args.json}")
+    if status == 0:
+        print(
+            f"soak: all {len(runs_payload)} run(s) verified, met their "
+            "SLOs and passed the perf gate"
+        )
+    else:
+        print(
+            "soak: FAILURE — SLO breach, verification failure or perf "
+            "regression (see above)"
+        )
+    return status
+
+
 def _emit_json(target: Path, payload: Dict) -> None:
     import json
 
@@ -737,6 +1076,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     raise AssertionError("unreachable")  # pragma: no cover

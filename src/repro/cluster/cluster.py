@@ -45,12 +45,13 @@ from repro.cluster.topology import ClusterTopology, KillTarget
 from repro.core.assignment import lpt_assign
 from repro.core.morphstreamr import MorphStreamR
 from repro.engine.events import Event
+from repro.engine.refs import StateRef
 from repro.engine.execution import execute_tpg, preprocess
 from repro.engine.state import StateStore
 from repro.engine.tpg import build_tpg
 from repro.engine.transactions import Transaction
 from repro.errors import ClusterDataLossError, ConfigError, InjectedCrash, RecoveryError
-from repro.ft.base import FTScheme, OutputSink
+from repro.ft.base import DegradedRead, FTScheme, OutputSink
 from repro.sim.clock import Machine
 from repro.sim.costs import DEFAULT_COSTS, CostModel
 from repro.sim.executor import ResilientExecutor, SimTask
@@ -411,6 +412,44 @@ class ShardedCluster:
             io_s = self._replica_device.write(shipped)
             shard._charge_runtime_io(io_s, 0)
             self.replication_bytes += shipped
+
+    # ------------------------------------------------------------------
+    # degraded-mode serving
+    # ------------------------------------------------------------------
+
+    def degraded_read(self, ref: StateRef) -> DegradedRead:
+        """Answer a read during a partial outage, stale only if needed.
+
+        The owning shard is derived from the ref alone (range
+        partitioning), so routing needs no coordinator state:
+
+        - a *surviving* shard answers from live state — tagged
+          ``stale=False`` with staleness bound 0;
+        - a *dead* shard answers through its checkpoint-backed degraded
+          view (:meth:`~repro.ft.base.FTScheme.degraded_read`), tagged
+          with the exact epoch staleness bound.
+
+        This is the availability argument for sharded deployments: a
+        rack kill degrades only the keys it owns, everything else keeps
+        serving fresh.
+        """
+        sid = self.shard_map.shard_of(ref)
+        shard = self.shards[sid]
+        if sid in self._dead_shards or shard.store is None:
+            return shard.degraded_read(ref)
+        value = shard.store.get(ref)
+        return DegradedRead(
+            table=ref.table,
+            key=ref.key,
+            value=value,
+            checkpoint_epoch=shard._next_epoch - 1,
+            staleness_epochs=0,
+            stale=False,
+        )
+
+    @property
+    def dead_shards(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._dead_shards))
 
     # ------------------------------------------------------------------
     # recovery

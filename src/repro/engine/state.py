@@ -42,6 +42,18 @@ class StateStore:
         except KeyError:
             raise TransactionError(f"no record at {ref}") from None
 
+    def peek(self, ref: StateRef):
+        """Non-raising read: the record's value, or ``None`` if absent.
+
+        Used by the degraded-serving path, which reads records out of a
+        restored checkpoint snapshot and must distinguish "key was never
+        part of the state" from a transaction-level error.
+        """
+        table = self._tables.get(ref.table)
+        if table is None:
+            return None
+        return table.get(ref.key)
+
     def set(self, ref: StateRef, value: float) -> None:
         table = self._tables.get(ref.table)
         if table is None or ref.key not in table:

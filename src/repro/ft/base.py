@@ -70,6 +70,7 @@ from repro.errors import (
     ReadFaultError,
     RecoveryError,
     TornSegmentError,
+    TransactionError,
     WorkloadError,
 )
 from repro.sim.clock import Machine
@@ -115,6 +116,31 @@ DEGRADABLE_ERRORS = (
     MissingSegmentError,
     ReadFaultError,
 )
+
+
+@dataclass(frozen=True)
+class DegradedRead:
+    """One read served stale from durable state while the node is down.
+
+    Degraded-mode serving (bounded staleness): while recovery is in
+    flight, reads may be answered from the newest *readable* checkpoint
+    instead of failing.  Every answer is explicitly tagged with its
+    staleness bound so downstream consumers can tell a stale value from
+    a fresh one — ``staleness_epochs`` is the number of acknowledged
+    epochs the serving view lags the crash point (0 means the
+    checkpoint landed exactly at the crash epoch).
+    """
+
+    table: str
+    key: object
+    value: float
+    #: epoch of the checkpoint that served the read.
+    checkpoint_epoch: int
+    #: acknowledged epochs the value may be behind (the staleness bound).
+    staleness_epochs: int
+    #: False when a live node answered with fresh state (cluster mode,
+    #: key owned by a surviving shard) — no staleness bound applies.
+    stale: bool = True
 
 
 @dataclass(frozen=True)
@@ -357,6 +383,11 @@ class FTScheme(ABC):
         self._wasted_recovery_chains = 0
         self._chains_done_in_flight = 0
         self._watermark_degradations = 0
+        #: degraded-serving view: (StateStore, checkpoint_epoch), lazily
+        #: restored from the newest readable checkpoint while crashed.
+        self._degraded_view: Optional[Tuple[StateStore, int]] = None
+        #: stale reads answered from checkpoints across this scheme's life.
+        self.degraded_reads_served = 0
         if self.takes_snapshots and self.disk.snapshots.latest_epoch() is None:
             # Epoch -1 snapshot: the initial state, so recovery always
             # has a base even if the crash precedes the first interval.
@@ -649,6 +680,7 @@ class FTScheme(ABC):
         self._watermark_degradations = 0
         self._last_watermark_state = None
         self._recovery_seconds_burned = 0.0
+        self._degraded_view = None
         self._drop_volatile()
 
     def _drop_volatile(self) -> None:
@@ -679,6 +711,52 @@ class FTScheme(ABC):
         crash_epoch = max(candidates)
         self._next_epoch = crash_epoch + 1
         self._enter_crashed_state(crash_epoch)
+
+    def degraded_read(self, ref) -> DegradedRead:
+        """Serve a read from the newest readable checkpoint while down.
+
+        Degraded-mode serving: the node is crashed and recovery may be
+        in flight, but durable checkpoints survive — so a read can be
+        answered *stale* instead of erroring, tagged with the exact
+        staleness bound (epochs the checkpoint lags the crash point).
+        The serving view is restored once per crash and cached; it never
+        touches the recovering store, so serving stale reads cannot
+        perturb recovery, and the same seed always yields bit-identical
+        answers (the checkpoint bytes are deterministic).
+
+        Raises :class:`RecoveryError` when the node is healthy (callers
+        must read live state instead — a silent stale read on a healthy
+        node would be a correctness bug), a storage error when no
+        checkpoint is readable, and :class:`TransactionError` when the
+        checkpoint has no such record.
+        """
+        if not self._crashed:
+            raise RecoveryError(
+                "degraded reads are only served while the node is down; "
+                "read live state instead"
+            )
+        if self._degraded_view is None:
+            state, snap_epoch, _fallbacks, _io = self._load_checkpoint()
+            view = StateStore()
+            view.restore(state)
+            self._degraded_view = (view, snap_epoch)
+        view, snap_epoch = self._degraded_view
+        value = view.peek(ref)
+        if value is None:
+            raise TransactionError(
+                f"degraded read: checkpoint {snap_epoch} has no record "
+                f"at {ref}"
+            )
+        self.degraded_reads_served += 1
+        assert self._crash_epoch is not None
+        return DegradedRead(
+            table=ref.table,
+            key=ref.key,
+            value=value,
+            checkpoint_epoch=snap_epoch,
+            staleness_epochs=self._crash_epoch - snap_epoch,
+            stale=True,
+        )
 
     def recover(self) -> RecoveryReport:
         """Template method: restore state to the failure point (§V-C).
@@ -853,6 +931,7 @@ class FTScheme(ABC):
             machine.spend_all(buckets.IO, io_c)
         self.store = store
         self._crashed = False
+        self._degraded_view = None
         elapsed = machine.elapsed()
         stats = getattr(executor, "stats", None)
         return RecoveryReport(

@@ -20,6 +20,20 @@ from repro.harness.runner import (
     ground_truth,
     run_experiment,
 )
+from repro.harness.slo import (
+    GateResult,
+    GateTolerance,
+    SLOTargets,
+    SLOVerdict,
+    evaluate_slo,
+    regression_gate,
+)
+from repro.harness.soak import (
+    SoakConfig,
+    SoakResult,
+    run_soak,
+    smoke_configs,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -31,4 +45,14 @@ __all__ = [
     "ChaosRun",
     "run_chaos",
     "smoke_config",
+    "SLOTargets",
+    "SLOVerdict",
+    "evaluate_slo",
+    "GateTolerance",
+    "GateResult",
+    "regression_gate",
+    "SoakConfig",
+    "SoakResult",
+    "run_soak",
+    "smoke_configs",
 ]

@@ -698,6 +698,8 @@ def chaos_payload(report: ChaosReport) -> Dict:
     """
     from dataclasses import asdict
 
+    from repro.harness.stats import latency_summary
+
     ladder_total: Dict[str, int] = {}
     wasted_events = replayed_plus_wasted = 0
     for run in report.runs:
@@ -705,6 +707,7 @@ def chaos_payload(report: ChaosReport) -> Dict:
             ladder_total[rung] = ladder_total.get(rung, 0) + count
         wasted_events += run.wasted_events
         replayed_plus_wasted += run.events_replayed + run.wasted_events
+    mttrs = [run.mttr_seconds for run in report.runs if run.mttr_seconds > 0]
     return {
         "config": asdict(report.config),
         "passed": report.passed,
@@ -719,6 +722,10 @@ def chaos_payload(report: ChaosReport) -> Dict:
                 if replayed_plus_wasted
                 else 0.0
             ),
+            # The canonical latency digest (repro.harness.stats), so the
+            # chaos MTTR sample quotes the same interpolated quantiles
+            # as the soak trajectory.
+            "mttr": latency_summary(mttrs),
         },
         "cells": [
             {

@@ -1,10 +1,15 @@
-"""Sweep analysis: speedups, crossovers, scaling efficiency.
+"""Sweep analysis: speedups, crossovers, scaling efficiency, percentiles.
 
 Helpers the experiment layer uses to turn raw sweep series into the
 derived quantities EXPERIMENTS.md reports — "MSR is N× the sub-optimal
 scheme", "the crossover falls at ratio r", "scaling efficiency at 32
 cores".  Pure functions over ``(x, y)`` point lists; deterministic and
 unit-tested, so the derived claims are as reproducible as the raw data.
+
+The percentile helpers (:func:`percentile`, :func:`latency_summary`)
+are the single implementation every latency/MTTR summary in the repo
+uses — the soak harness, the chaos report and the SLO gate all quote
+the same interpolated quantiles.
 """
 
 from __future__ import annotations
@@ -14,6 +19,65 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigError
 
 Points = Sequence[Tuple[float, float]]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of ``values`` with linear interpolation.
+
+    ``p`` is in ``[0, 100]``.  Uses the standard "linear" (inclusive)
+    definition: the rank ``p/100 * (n - 1)`` is interpolated between
+    its two neighbouring order statistics, so ``percentile(v, 50)`` of
+    an even-sized sample is the midpoint of the middle pair.
+    """
+    if not values:
+        raise ConfigError("percentile of an empty sample")
+    if not 0.0 <= p <= 100.0:
+        raise ConfigError(f"percentile must be in [0, 100], got {p!r}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
+
+
+def p50(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def p99(values: Sequence[float]) -> float:
+    return percentile(values, 99.0)
+
+
+def p999(values: Sequence[float]) -> float:
+    return percentile(values, 99.9)
+
+
+def latency_summary(values: Sequence[float]) -> Dict[str, float]:
+    """The canonical latency digest: p50/p99/p999 plus mean and max.
+
+    Every place the repo summarizes a latency (or MTTR) sample exports
+    exactly these keys, so trajectories and reports stay comparable.
+    """
+    if not values:
+        return {
+            "count": 0,
+            "p50": 0.0,
+            "p99": 0.0,
+            "p999": 0.0,
+            "mean": 0.0,
+            "max": 0.0,
+        }
+    return {
+        "count": len(values),
+        "p50": percentile(values, 50.0),
+        "p99": percentile(values, 99.0),
+        "p999": percentile(values, 99.9),
+        "mean": sum(values) / len(values),
+        "max": max(values),
+    }
 
 
 def speedup_vs_suboptimal(totals: Dict[str, float], best: str) -> float:

@@ -96,6 +96,22 @@ class Machine:
                 core.spend(bucket, extra)
         return self.elapsed()
 
+    def advance_all_to(self, target: float, bucket: str = WAIT) -> float:
+        """Advance every core's clock to at least ``target`` seconds.
+
+        Cores already past ``target`` are untouched; lagging cores
+        charge the idle gap to ``bucket``.  This is the latency-stamping
+        primitive of the soak harness: the engine's virtual clock is
+        kept aligned with the ingress arrival timeline (waiting for an
+        epoch's events to arrive, or sitting through a failure-detection
+        + recovery outage), so epoch-commit stamps — and therefore
+        end-to-end latencies — read directly off :meth:`elapsed`.
+        Returns the new makespan.
+        """
+        for core in self.cores:
+            core.advance_to(target, bucket)
+        return self.elapsed()
+
     def spend_all(self, bucket: str, seconds: float) -> None:
         """Charge ``seconds`` in ``bucket`` on every core simultaneously."""
         for core in self.cores:

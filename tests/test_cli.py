@@ -2,9 +2,29 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import FIGURES, main
+
+#: A soak cell small enough for unit tests, with targets the tiny run
+#: can meet (short runs spend a large fraction of their virtual time in
+#: outage, so the default 99.5% availability target would always trip).
+TINY_SOAK = [
+    "soak",
+    "--keys", "128",
+    "--epoch-len", "32",
+    "--epochs", "8",
+    "--crashes", "1",
+    "--workers", "2",
+    "--snapshot-interval", "3",
+    "--seed", "11",
+    "--slo-availability", "0.2",
+    "--slo-p99", "10",
+    "--slo-p999", "60",
+    "--slo-mttr", "60",
+]
 
 
 class TestList:
@@ -79,3 +99,80 @@ class TestFigure:
         assert main(["figure", name, "--quick", "--plot"]) == 0
         out = capsys.readouterr().out
         assert "█" in out or "+----" in out or "|" in out
+
+
+class TestSoak:
+    def test_tiny_soak_meets_slo_and_exits_zero(self, capsys):
+        assert main(TINY_SOAK) == 0
+        out = capsys.readouterr().out
+        assert "SLO met" in out
+        assert "verified, met their" in out
+
+    def test_slo_breach_exits_nonzero(self, capsys):
+        args = [a for a in TINY_SOAK]
+        args[args.index("--slo-p99") + 1] = "0.000000001"
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "SLO BREACH" in out
+        assert "soak: FAILURE" in out
+
+    def test_json_export_to_stdout(self, capsys):
+        assert main(TINY_SOAK + ["--json", "-"]) == 0
+        out = capsys.readouterr().out
+        doc, _trailing = json.JSONDecoder().raw_decode(out[out.index("{"):])
+        assert doc["schema"] == "repro.soak/v1"
+        assert len(doc["runs"]) == 1
+        run = doc["runs"][0]
+        assert run["ok"] is True
+        assert run["metrics"]["rpo_events"] == 0
+        assert run["verification"]["degraded_reads"] is True
+
+    def test_bench_gate_seeds_then_catches_regression(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_soak.json"
+        args = TINY_SOAK + ["--bench", str(bench)]
+        assert main(args + ["--update-bench"]) == 0
+        out = capsys.readouterr().out
+        assert "no committed baseline" in out
+        assert bench.exists()
+        # Re-run against its own record: bit-identical, gate OK.
+        assert main(args) == 0
+        assert "gate OK" in capsys.readouterr().out
+        # Tamper the baseline to claim 10x the throughput: the same run
+        # now reads as a regression and the exit code goes red.
+        doc = json.loads(bench.read_text())
+        doc["records"][-1]["metrics"]["throughput_eps"] *= 10
+        bench.write_text(json.dumps(doc))
+        assert main(args) == 1
+        out = capsys.readouterr().out
+        assert "PERF REGRESSION" in out
+        assert "soak: FAILURE" in out
+
+    def test_update_bench_requires_bench(self, capsys):
+        assert main(["soak", "--smoke", "--update-bench"]) == 2
+        assert "--update-bench requires --bench" in capsys.readouterr().out
+
+
+class TestChaosGates:
+    def test_scheme_subset_and_mttr_slo(self, capsys):
+        code = main(
+            ["chaos", "--smoke", "--schemes", "MSR", "--no-cluster",
+             "--max-mttr", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MTTR digest" in out
+        assert "within --max-mttr" in out
+        assert " WAL " not in out
+        assert "0 cluster-kill cells" in out
+
+    def test_mttr_breach_exits_nonzero(self, capsys):
+        code = main(
+            ["chaos", "--smoke", "--schemes", "MSR", "--no-cluster",
+             "--max-mttr", "0.000001"]
+        )
+        assert code == 1
+        assert "MTTR SLO BREACH" in capsys.readouterr().out
+
+    def test_unknown_scheme_subset_rejected(self, capsys):
+        assert main(["chaos", "--smoke", "--schemes", "MSR,BOGUS"]) == 2
+        assert "unknown scheme(s): BOGUS" in capsys.readouterr().out
