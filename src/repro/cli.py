@@ -4,8 +4,9 @@ Subcommands::
 
     repro list                      # available workloads/schemes/figures
     repro run --workload SL --scheme MSR [sizing options]
+    repro recover --backend real [--bench BENCH_realexec.json]
     repro figure fig11 [--quick]
-    repro chaos [--smoke] [--seed N] [--max-mttr S]
+    repro chaos [--smoke] [--seed N] [--max-mttr S] [--backend real]
     repro cluster --shards 8 --placement checkpoint_spread --kill rack:0
     repro soak [--smoke] [--mode single|cluster|both] [--bench BENCH_soak.json]
 
@@ -25,8 +26,18 @@ serving, token-bucket admission — grades the run against declarative
 SLO targets and gates its metrics against the committed
 ``BENCH_soak.json`` perf trajectory.
 
+``repro recover`` runs one crash-recovery cycle on a selectable
+execution backend: ``sim`` (virtual clocks, the default everywhere) or
+``real`` (chain groups on actual cores via multiprocessing,
+cross-validated against the virtual replay).  With ``--bench`` it sweeps
+worker counts and exports the wall-clock speedup curve as
+``BENCH_realexec.json``.
+
 Exit codes are CI contracts: ``chaos`` and ``soak`` return non-zero on
 any verification failure, data loss, SLO breach or perf regression.
+Exit code ``3`` is reserved for backend-selection failures: requesting
+``--backend real`` on a host that cannot spawn worker processes, or
+with a worker count below 1, fails loudly *before* any work starts.
 """
 
 from __future__ import annotations
@@ -48,6 +59,15 @@ from repro.harness.report import (
     render_table,
 )
 from repro.harness.runner import ExperimentConfig, run_experiment
+
+#: CLI exit codes (CI contracts).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+#: the selected execution backend cannot run (unsupported platform,
+#: worker count < 1) — distinct so CI can tell "host can't do it"
+#: from "recovery was wrong".
+EXIT_BACKEND = 3
 
 #: figure name -> (callable, human description).
 FIGURES: Dict[str, tuple] = {
@@ -93,6 +113,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="epochs lost between the last checkpoint and the crash",
     )
     run.add_argument("--seed", type=int, default=7)
+
+    recover = sub.add_parser(
+        "recover",
+        help="run one crash-recovery cycle on a selectable execution "
+        "backend (sim or real cores), with optional speedup benchmark",
+    )
+    recover.add_argument(
+        "--workload", choices=sorted(figures.WORKLOADS), default="GS"
+    )
+    recover.add_argument(
+        "--scheme",
+        choices=sorted(s for s in SCHEMES if s != "NAT"),
+        default="MSR",
+    )
+    recover.add_argument("--workers", type=int, default=4)
+    recover.add_argument("--epoch-len", type=int, default=256)
+    recover.add_argument("--snapshot-interval", type=int, default=4)
+    recover.add_argument(
+        "--recover-epochs",
+        type=int,
+        default=3,
+        help="epochs lost between the last checkpoint and the crash",
+    )
+    recover.add_argument("--seed", type=int, default=7)
+    recover.add_argument(
+        "--backend",
+        choices=("sim", "real"),
+        default="sim",
+        help="execution backend: virtual clocks (sim) or actual cores "
+        "via multiprocessing (real)",
+    )
+    recover.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="real backend: modeled service seconds per operation "
+        "(one proportional sleep per chain group; 0 disables)",
+    )
+    recover.add_argument(
+        "--start-method",
+        choices=("fork", "spawn", "forkserver"),
+        default=None,
+        help="real backend: multiprocessing start method (default: "
+        "fork when available)",
+    )
+    recover.add_argument(
+        "--bench",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="run the 1→N-worker wall-clock speedup sweep on the real "
+        "backend and export the curve as JSON (e.g. BENCH_realexec.json)",
+    )
+    recover.add_argument(
+        "--bench-workers",
+        default="1,2,4",
+        metavar="CSV",
+        help="worker counts swept by --bench",
+    )
 
     fig = sub.add_parser("figure", help="reproduce one evaluation figure")
     fig.add_argument("name", choices=sorted(FIGURES))
@@ -145,6 +225,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="export the full sweep (per-cell ladder histogram, "
         "re-assignment counters, wasted-work ratios) as JSON",
+    )
+    chaos.add_argument(
+        "--backend",
+        choices=("sim", "real"),
+        default="sim",
+        help="execution backend for single-node cells (cluster cells "
+        "always run sim)",
     )
 
     from repro.cluster import PLACEMENT_NAMES
@@ -293,6 +380,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="append this run's record to the --bench trajectory after "
         "gating",
     )
+    soak.add_argument(
+        "--backend",
+        choices=("sim", "real"),
+        default="sim",
+        help="execution backend for single-mode recoveries (cluster "
+        "mode always runs sim)",
+    )
 
     cal = sub.add_parser(
         "calibrate",
@@ -394,6 +488,106 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("\nstate verified against serial ground truth: OK")
     print("outputs delivered exactly once: OK")
     return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.errors import BackendError
+
+    if args.workers < 1:
+        print(
+            f"backend error: worker count must be >= 1 (got {args.workers})"
+        )
+        return EXIT_BACKEND
+    if args.backend == "real" or args.bench is not None:
+        from repro.real import real_backend_unavailable_reason
+
+        reason = real_backend_unavailable_reason()
+        if reason is not None:
+            print(f"backend error: real execution backend unsupported: {reason}")
+            return EXIT_BACKEND
+
+    if args.bench is not None:
+        from repro.harness.export import write_json
+        from repro.real.bench import describe_bench, run_realexec_bench
+
+        try:
+            counts = sorted(
+                {int(w) for w in args.bench_workers.split(",") if w.strip()}
+            )
+        except ValueError:
+            print(f"--bench-workers must be a CSV of ints: {args.bench_workers!r}")
+            return EXIT_USAGE
+        if not counts or min(counts) < 1:
+            print("backend error: --bench-workers must all be >= 1")
+            return EXIT_BACKEND
+        print(
+            f"real-backend speedup sweep over workers {counts} "
+            f"(time scale {args.time_scale or 1e-3:.4f}s/op) ..."
+        )
+        try:
+            payload = run_realexec_bench(
+                counts,
+                scheme_name=args.scheme,
+                epoch_len=args.epoch_len,
+                snapshot_interval=args.snapshot_interval,
+                recover_epochs=args.recover_epochs,
+                time_scale=args.time_scale or 1e-3,
+                seed=args.seed,
+            )
+        except BackendError as exc:
+            print(f"backend error: {exc}")
+            return EXIT_BACKEND
+        print(describe_bench(payload))
+        write_json(args.bench, payload)
+        print(f"exported speedup curve to {args.bench}")
+        return EXIT_OK if payload["shape_matches"] else EXIT_FAILURE
+
+    factory = figures.WORKLOADS[args.workload]()
+    config = ExperimentConfig(
+        workload_factory=factory,
+        scheme=SCHEMES[args.scheme],
+        num_workers=args.workers,
+        epoch_len=args.epoch_len,
+        snapshot_interval=args.snapshot_interval,
+        recover_epochs=args.recover_epochs,
+        seed=args.seed,
+        scheme_kwargs={
+            "backend": args.backend,
+            "real_time_scale": args.time_scale,
+            "real_start_method": args.start_method,
+        },
+    )
+    try:
+        result = run_experiment(config)
+    except BackendError as exc:
+        print(f"backend error: {exc}")
+        return EXIT_BACKEND
+    recovery = result.recovery
+    rows = [
+        ["backend", recovery.backend],
+        ["events replayed", recovery.events_replayed],
+        ["epochs replayed", recovery.epochs_replayed],
+        ["virtual recovery time", format_seconds(recovery.elapsed_seconds)],
+        ["virtual throughput", format_throughput(recovery.throughput_eps)],
+    ]
+    if recovery.backend == "real":
+        rows += [
+            ["chain groups shipped", recovery.real_groups],
+            [
+                "wall-clock group execution",
+                format_seconds(recovery.real_wall_seconds),
+            ],
+            ["re-assignment rounds", recovery.reassign_rounds],
+            ["dead workers", ", ".join(map(str, recovery.dead_workers)) or "-"],
+        ]
+    print_figure(
+        f"{args.scheme} on {args.workload} — recovery "
+        f"({recovery.backend} backend)",
+        render_table(["metric", "value"], rows),
+    )
+    print("\nstate verified against serial ground truth: OK")
+    print("outputs delivered exactly once: OK")
+    return EXIT_OK
 
 
 def _render_figure(name: str, data) -> None:
@@ -553,6 +747,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         if args.smoke
         else replace(ChaosConfig(), seed=args.seed)
     )
+    if args.backend != "sim":
+        cfg = replace(cfg, backend=args.backend)
     if args.schemes:
         wanted = tuple(
             s.strip().upper() for s in args.schemes.split(",") if s.strip()
@@ -902,6 +1098,13 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                 replace(cfg, chaos=True) if cfg.mode == "single" else cfg
                 for cfg in configs
             ]
+        if args.backend != "sim":
+            configs = [
+                replace(cfg, backend=args.backend)
+                if cfg.mode == "single"
+                else cfg
+                for cfg in configs
+            ]
     else:
         modes = ("single", "cluster") if args.mode == "both" else (args.mode,)
         configs = [
@@ -923,6 +1126,7 @@ def _cmd_soak(args: argparse.Namespace) -> int:
                 nodes_per_rack=args.nodes_per_rack,
                 replication=args.replication,
                 placement=args.placement,
+                backend=args.backend if mode == "single" else "sim",
             )
             for mode in modes
         ]
@@ -1065,21 +1269,32 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.errors import BackendError
+
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list()
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "chaos":
-        return _cmd_chaos(args)
-    if args.command == "cluster":
-        return _cmd_cluster(args)
-    if args.command == "soak":
-        return _cmd_soak(args)
-    if args.command == "calibrate":
-        return _cmd_calibrate(args)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "recover":
+            return _cmd_recover(args)
+        if args.command == "figure":
+            return _cmd_figure(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
+        if args.command == "cluster":
+            return _cmd_cluster(args)
+        if args.command == "soak":
+            return _cmd_soak(args)
+        if args.command == "calibrate":
+            return _cmd_calibrate(args)
+    except BackendError as exc:
+        # Backend selection failed (unsupported host, bad worker count):
+        # a distinct exit code so CI can tell this from a verification
+        # failure.
+        print(f"backend error: {exc}")
+        return EXIT_BACKEND
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -114,7 +114,14 @@ class LSNVector(FTScheme):
             buckets.EXECUTE, (costs.preprocess_event for _ in commands)
         )
         tpg = build_tpg(txns)
+        recorder = self._real_recorder
+        if recorder is not None:
+            from repro.real.plan import capture_base
+
+            base_token = capture_base(tpg, store)
         outcome = execute_tpg(store, tpg)
+        if recorder is not None:
+            recorder.record_tpg(tpg, outcome, base_token, self._real_num_groups())
 
         def vector_check(_txn_id, txn_deps):
             # A transaction with no dependencies passes the global

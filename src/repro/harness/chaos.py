@@ -121,8 +121,16 @@ class ChaosConfig:
     #: also run the overwhelm cell: a correlated kill wider than the
     #: replication budget, which must end in a *loud* data-loss error.
     cluster_overwhelm: bool = True
+    #: execution backend for single-node cells ("sim" or "real"); the
+    #: cluster cell family always runs sim (shards share one process).
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("sim", "real"):
+            raise ConfigError(
+                f"unknown execution backend {self.backend!r} "
+                "(expected 'sim' or 'real')"
+            )
         unknown = set(self.schemes) - set(SCHEMES)
         if unknown:
             raise ConfigError(f"unknown schemes: {sorted(unknown)}")
@@ -417,6 +425,7 @@ def _run_one(
         disk=Disk(faults=injector),
         gc_keep_checkpoints=cfg.gc_keep_checkpoints,
         recovery_faults=recovery_faults,
+        backend=cfg.backend,
     )
     run = ChaosRun(
         scheme=scheme_name,

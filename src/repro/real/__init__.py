@@ -1,0 +1,56 @@
+"""Real-parallelism execution backend.
+
+Everything else in this repository measures parallel recovery on a
+*virtual* machine (``repro.sim``): tasks carry calibrated costs and the
+list scheduler advances per-core clocks, so "speedup" is a prediction.
+This package is the second backend: it executes recovery chain-groups
+on **actual cores** via ``multiprocessing`` so the Fig. 13 scalability
+claim can be cross-validated against wall-clock reality.
+
+Layering:
+
+- :mod:`repro.real.descriptors` — pure, picklable chain-group task
+  descriptors plus the process-pure ``execute_group`` interpreter;
+- :mod:`repro.real.plan` — records a :class:`RealRecoveryPlan` while the
+  deterministic in-parent replay runs (the PACMAN-style dependency
+  pre-pass that pins every cross-group read);
+- :mod:`repro.real.worker` — the child-process loop with cooperative
+  kill flags (die/straggle fault semantics);
+- :mod:`repro.real.executor` — :class:`RealExecutor`: LPT assignment of
+  groups to worker processes, death detection, ``lpt_reassign``-based
+  re-balancing rounds, exactly-once completion accounting;
+- :mod:`repro.real.backend` — platform gating and fault-plan
+  translation (the seam :class:`repro.ft.base.FTScheme` selects with
+  ``backend="real"``);
+- :mod:`repro.real.bench` — the 1→N-core wall-clock speedup benchmark
+  behind ``BENCH_realexec.json``.
+"""
+
+from repro.real.backend import (
+    BACKENDS,
+    ensure_real_backend_supported,
+    real_backend_unavailable_reason,
+)
+from repro.real.descriptors import (
+    ChainGroupTask,
+    GroupResult,
+    OpSpec,
+    execute_group,
+    lpt_assign_groups,
+    lpt_reassign_groups,
+)
+from repro.real.executor import RealExecutor, RealRunResult
+
+__all__ = [
+    "BACKENDS",
+    "ChainGroupTask",
+    "GroupResult",
+    "OpSpec",
+    "RealExecutor",
+    "RealRunResult",
+    "ensure_real_backend_supported",
+    "execute_group",
+    "lpt_assign_groups",
+    "lpt_reassign_groups",
+    "real_backend_unavailable_reason",
+]

@@ -1,0 +1,113 @@
+"""Backend selection: platform gating and fault-plan translation.
+
+``FTScheme(backend="real")`` is the seam through which every scheme,
+the chaos harness and the soak driver pick the execution backend
+without code changes.  This module answers two questions at that seam:
+
+1. *Can this host run the real backend at all?*  ``multiprocessing``
+   needs a start method and POSIX semaphores; hosts without them
+   (WASM targets, some sandboxes) must fail **loudly at construction**
+   with :class:`~repro.errors.BackendError` — the CLI maps it to a
+   distinct exit code — never hang or silently fall back to sim.
+2. *What do the virtual-time worker faults mean on real cores?*  A
+   :class:`~repro.sim.executor.WorkerFault` death instant is virtual
+   seconds, which have no wall-clock meaning; the translation maps it
+   onto the cooperative units the real workers understand (completed
+   chain groups).  A death at virtual zero dies before completing
+   anything; a later death completes one group first, so the "partial
+   progress survives, remainder is re-assigned" semantics of the
+   resilient schedule are preserved.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import BackendError
+from repro.sim.executor import WorkerFault, WorkerFaultPlan
+
+#: Execution backends selectable through ``FTScheme(backend=...)``.
+BACKENDS: Tuple[str, ...] = ("sim", "real")
+
+#: Straggle translation: wall seconds slept per group per unit of
+#: slowdown above 1.0, capped so tests never sleep unboundedly.
+_STRAGGLE_SLEEP_PER_UNIT = 0.002
+_STRAGGLE_SLEEP_CAP = 0.05
+
+
+def real_backend_unavailable_reason() -> Optional[str]:
+    """Why the real backend cannot run here, or ``None`` if it can."""
+    if sys.platform in ("emscripten", "wasi"):
+        return f"platform {sys.platform!r} cannot fork worker processes"
+    try:
+        import multiprocessing
+        import multiprocessing.synchronize  # noqa: F401  (needs sem_open)
+    except ImportError as exc:
+        return f"multiprocessing unavailable: {exc}"
+    if not multiprocessing.get_all_start_methods():
+        return "no multiprocessing start method is available"
+    return None
+
+
+def ensure_real_backend_supported() -> None:
+    """Raise :class:`BackendError` when the real backend cannot run."""
+    reason = real_backend_unavailable_reason()
+    if reason is not None:
+        raise BackendError(f"real execution backend unsupported: {reason}")
+
+
+def pick_start_method(preferred: Optional[str] = None) -> str:
+    """Choose a start method: ``fork`` when available (cheap, inherits
+    the function registry), else whatever the platform offers."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in methods:
+            raise BackendError(
+                f"start method {preferred!r} unavailable "
+                f"(platform offers {methods})"
+            )
+        return preferred
+    if "fork" in methods:
+        return "fork"
+    if not methods:
+        raise BackendError("no multiprocessing start method is available")
+    return methods[0]
+
+
+@dataclass(frozen=True)
+class RealFaultPlan:
+    """Worker faults translated to cooperative real-core semantics.
+
+    ``die_after`` maps a worker to the total number of chain groups it
+    may complete (across all rounds and epochs of one recovery) before
+    its kill flag fires; ``straggle`` maps a worker to the wall seconds
+    it sleeps before every group.
+    """
+
+    die_after: Dict[int, int] = field(default_factory=dict)
+    straggle: Dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_worker_faults(
+        cls, faults: Sequence[WorkerFault], num_workers: int
+    ) -> "RealFaultPlan":
+        """Translate a virtual-time fault plan (validates it first)."""
+        WorkerFaultPlan(faults, num_workers)
+        die_after: Dict[int, int] = {}
+        straggle: Dict[int, float] = {}
+        for fault in faults:
+            if fault.kind == "die":
+                die_after[fault.worker] = 0 if fault.at_seconds == 0.0 else 1
+            else:
+                straggle[fault.worker] = min(
+                    _STRAGGLE_SLEEP_CAP,
+                    _STRAGGLE_SLEEP_PER_UNIT * max(0.0, fault.slowdown - 1.0),
+                )
+        return cls(die_after=die_after, straggle=straggle)
+
+    def __bool__(self) -> bool:
+        return bool(self.die_after or self.straggle)

@@ -1,0 +1,161 @@
+"""Wall-clock recovery speedup benchmark (1 → N real cores).
+
+The virtual-clock simulator predicts recovery scalability (Fig. 13);
+this benchmark measures the same sweep on the real backend and checks
+that the *shape* of the wall-clock curve matches the prediction:
+monotone non-increasing recovery time, and the same efficiency knee.
+
+Chain-group service time is modeled as one ``time_scale``-proportional
+sleep per group (see :mod:`repro.real.worker`): sleeps overlap across
+worker processes even on a single-core host, so the measured speedup
+reflects what the executor actually controls — plan balance, LPT
+assignment quality and orchestration overhead — rather than host
+arithmetic throughput.  The exported payload is committed as
+``BENCH_realexec.json`` and re-checked by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.harness.runner import ExperimentConfig, run_experiment
+
+#: schema tag of the exported payload.
+BENCH_SCHEMA = "bench-realexec/v1"
+
+#: a worker count is "efficient" while speedup/workers stays above this;
+#: the knee of the curve is the largest efficient worker count.
+KNEE_EFFICIENCY = 0.6
+
+#: tolerance for the monotonicity check (wall clocks jitter).
+MONOTONE_SLACK = 1.10
+
+
+def _knee(speedups: Dict[int, float]) -> int:
+    """Largest worker count whose parallel efficiency clears the bar."""
+    knee = min(speedups)
+    for workers in sorted(speedups):
+        if speedups[workers] / workers >= KNEE_EFFICIENCY:
+            knee = workers
+    return knee
+
+
+def _monotone(seconds: Dict[int, float]) -> bool:
+    ordered = [seconds[w] for w in sorted(seconds)]
+    return all(
+        later <= earlier * MONOTONE_SLACK
+        for earlier, later in zip(ordered, ordered[1:])
+    )
+
+
+def run_realexec_bench(
+    workers: Sequence[int] = (1, 2, 4),
+    *,
+    scheme_name: str = "MSR",
+    num_keys: int = 4096,
+    skew: float = 0.9,
+    epoch_len: int = 256,
+    snapshot_interval: int = 4,
+    recover_epochs: int = 3,
+    time_scale: float = 1e-3,
+    seed: int = 7,
+) -> Dict:
+    """Sweep worker counts over one crash-recovery experiment.
+
+    Every cell runs twice — once per backend — on the large Zipf
+    Grep&Sum workload: the sim cell contributes the virtual-clock
+    prediction (recovery ``elapsed_seconds``), the real cell the
+    measured wall clock of chain-group execution
+    (``real_wall_seconds``).  Both curves are normalized to their
+    1-worker value before comparing shapes.
+    """
+    from repro import SCHEMES
+    from repro.workloads.grep_sum import GrepSum
+
+    def workload_factory():
+        return GrepSum(num_keys, skew=skew, num_partitions=8)
+
+    wall: Dict[int, float] = {}
+    virtual: Dict[int, float] = {}
+    groups: Dict[int, int] = {}
+    for count in sorted(set(workers)):
+        for backend in ("sim", "real"):
+            config = ExperimentConfig(
+                workload_factory=workload_factory,
+                scheme=SCHEMES[scheme_name],
+                num_workers=count,
+                epoch_len=epoch_len,
+                snapshot_interval=snapshot_interval,
+                recover_epochs=recover_epochs,
+                seed=seed,
+                scheme_kwargs={
+                    "backend": backend,
+                    "real_time_scale": time_scale if backend == "real" else 0.0,
+                },
+            )
+            report = run_experiment(config).recovery
+            if backend == "real":
+                wall[count] = report.real_wall_seconds
+                groups[count] = report.real_groups
+            else:
+                virtual[count] = report.elapsed_seconds
+
+    base = min(wall)
+    wall_speedup = {w: wall[base] / wall[w] for w in wall}
+    virtual_speedup = {w: virtual[base] / virtual[w] for w in virtual}
+    knee_wall = _knee(wall_speedup)
+    knee_virtual = _knee(virtual_speedup)
+    counts: List[int] = sorted(wall)
+    return {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "scheme": scheme_name,
+            "workload": "GS",
+            "num_keys": num_keys,
+            "skew": skew,
+            "epoch_len": epoch_len,
+            "snapshot_interval": snapshot_interval,
+            "recover_epochs": recover_epochs,
+            "time_scale": time_scale,
+            "seed": seed,
+        },
+        "workers": counts,
+        "wall_seconds": {str(w): wall[w] for w in counts},
+        "virtual_seconds": {str(w): virtual[w] for w in counts},
+        "real_groups": {str(w): groups[w] for w in counts},
+        "wall_speedup": {str(w): wall_speedup[w] for w in counts},
+        "virtual_speedup": {str(w): virtual_speedup[w] for w in counts},
+        "monotone_wall": _monotone(wall),
+        "monotone_virtual": _monotone(virtual),
+        "knee_wall": knee_wall,
+        "knee_virtual": knee_virtual,
+        "shape_matches": (
+            _monotone(wall)
+            and _monotone(virtual)
+            and knee_wall == knee_virtual
+        ),
+    }
+
+
+def describe_bench(payload: Dict) -> str:
+    """Human-readable summary of one benchmark payload."""
+    lines = [
+        f"real-backend recovery speedup ({payload['config']['scheme']} on "
+        f"{payload['config']['workload']}, "
+        f"skew {payload['config']['skew']}):"
+    ]
+    for w in payload["workers"]:
+        key = str(w)
+        lines.append(
+            f"  {w} worker(s): wall {payload['wall_seconds'][key]:.3f}s "
+            f"(x{payload['wall_speedup'][key]:.2f}), virtual "
+            f"{payload['virtual_seconds'][key]:.4f}s "
+            f"(x{payload['virtual_speedup'][key]:.2f})"
+        )
+    lines.append(
+        f"  shape vs virtual prediction: "
+        f"{'MATCH' if payload['shape_matches'] else 'MISMATCH'} "
+        f"(knee wall={payload['knee_wall']}, "
+        f"virtual={payload['knee_virtual']})"
+    )
+    return "\n".join(lines)

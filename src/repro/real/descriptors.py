@@ -1,0 +1,207 @@
+"""Pure, picklable chain-group task descriptors.
+
+The virtual-time executor schedules :class:`~repro.sim.executor.SimTask`
+objects that only *cost* seconds; the real backend must ship actual
+work to other processes.  The unit of shipment is one
+:class:`ChainGroupTask`: a bundle of per-record operation chains whose
+every input is already resolvable inside the group —
+
+- ``("own",)`` — the running value of the operation's own record
+  (chained through the group's cursor, seeded from ``base_values``);
+- ``("base", table, key)`` — a record value as of the epoch start,
+  shipped in ``base_values`` (workers never touch the parent's store);
+- ``("pin", value)`` — a cross-group or view-resolved read, pinned to
+  its exact value by the in-parent dependency pre-pass (the same trick
+  the cluster's :class:`~repro.cluster.sharding.DependencyFrontier`
+  plays across shards);
+- ``("local", source_uid)`` — an intra-group read, resolved by the
+  worker from the value it computed for ``source_uid`` earlier in the
+  group's topological order.
+
+Abort verdicts are resolved *before* planning (only committed
+operations are shipped), so workers run zero condition checks — exactly
+the restructured, dependency-free execution of §V.
+
+Everything here is a frozen dataclass of primitives: ``pickle`` round-
+trips descriptors unchanged (a regression test asserts this), sends are
+cheap, and state functions travel as registry *names*, never as
+callables — the fix for ``lpt_assign``/``lpt_reassign`` previously
+only being usable with in-process objects.  :func:`lpt_assign_groups` /
+:func:`lpt_reassign_groups` layer the existing LPT arithmetic over
+descriptors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.assignment import lpt_assign, lpt_reassign
+from repro.engine.functions import apply_state_function
+from repro.errors import SchedulingError
+
+#: A read specification: ("base", table, key) | ("pin", value) |
+#: ("local", source_uid).  Plain tuples keep descriptors pickle-cheap.
+ReadSpec = Tuple[object, ...]
+
+BASE = "base"
+PIN = "pin"
+LOCAL = "local"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One operation, fully resolved for out-of-process execution."""
+
+    uid: int
+    table: str
+    key: object
+    #: registry name of the state function (never a callable).
+    func: str
+    params: Tuple
+    reads: Tuple[ReadSpec, ...]
+
+
+@dataclass(frozen=True)
+class ChainGroupTask:
+    """One chain bundle: the re-assignment and shipment unit.
+
+    ``ops`` are in topological (exploration) order: a ``local`` read's
+    source always precedes its consumer.  ``base_values`` carries the
+    epoch-start value of every record the group reads or writes.
+    ``service_seconds`` optionally models the group's execution time
+    (one sleep per group, proportional to its modeled cost) so the
+    speedup benchmark measures scheduling/balance rather than Python
+    interpreter throughput.
+    """
+
+    group_id: int
+    epoch_id: int
+    ops: Tuple[OpSpec, ...]
+    base_values: Tuple[Tuple[str, object, float], ...]
+    service_seconds: float = 0.0
+
+    @property
+    def weight(self) -> float:
+        """LPT weight: operation count (§V-B3 — after restructuring a
+        task's execution time is essentially its op count)."""
+        return float(len(self.ops))
+
+
+@dataclass(frozen=True)
+class GroupResult:
+    """What one executed group reports back to the parent."""
+
+    group_id: int
+    epoch_id: int
+    #: (table, key) -> value after the chain's last committed op.
+    final_values: Tuple[Tuple[str, object, float], ...]
+    #: op uid -> computed value (for cross-checks and diagnostics).
+    op_values: Tuple[Tuple[int, float], ...]
+
+
+def execute_group(task: ChainGroupTask) -> GroupResult:
+    """Interpret one chain group; pure (no shared state, no I/O).
+
+    This is what worker processes run.  It only consults the shipped
+    ``base_values`` and its own per-group cursor, so executing groups in
+    any order — or in different processes — yields identical results.
+    """
+    base: Dict[Tuple[str, object], float] = {
+        (table, key): value for table, key, value in task.base_values
+    }
+    cursor: Dict[Tuple[str, object], float] = {}
+    value_after: Dict[int, float] = {}
+    for op in task.ops:
+        record = (op.table, op.key)
+        if record in cursor:
+            own = cursor[record]
+        else:
+            try:
+                own = base[record]
+            except KeyError:
+                raise SchedulingError(
+                    f"group {task.group_id}: no base value shipped for "
+                    f"{record!r}"
+                ) from None
+        reads: List[float] = []
+        for spec in op.reads:
+            kind = spec[0]
+            if kind == BASE:
+                reads.append(base[(spec[1], spec[2])])
+            elif kind == PIN:
+                reads.append(spec[1])  # type: ignore[arg-type]
+            elif kind == LOCAL:
+                source = spec[1]
+                try:
+                    reads.append(value_after[source])  # type: ignore[index]
+                except KeyError:
+                    raise SchedulingError(
+                        f"group {task.group_id}: local read of op "
+                        f"{source} before its value was computed"
+                    ) from None
+            else:
+                raise SchedulingError(f"unknown read spec {spec!r}")
+        value = apply_state_function(op.func, own, reads, op.params)
+        value_after[op.uid] = value
+        cursor[record] = value
+    return GroupResult(
+        group_id=task.group_id,
+        epoch_id=task.epoch_id,
+        final_values=tuple(
+            (table, key, value) for (table, key), value in cursor.items()
+        ),
+        op_values=tuple(sorted(value_after.items())),
+    )
+
+
+def lpt_assign_groups(
+    groups: Sequence[ChainGroupTask], workers: Sequence[int]
+) -> Dict[int, List[ChainGroupTask]]:
+    """LPT-assign descriptor groups onto the given worker ids.
+
+    Deterministic: groups are ordered by ``group_id`` before the LPT
+    pass, so the same plan and worker set always produce the same
+    assignment (the chain-assignment determinism the differential tests
+    assert).  Returns worker id -> its groups, heaviest first.
+    """
+    ordered = sorted(groups, key=lambda g: g.group_id)
+    assignment, _loads = lpt_assign(
+        [g.weight for g in ordered], len(workers)
+    )
+    out: Dict[int, List[ChainGroupTask]] = {w: [] for w in workers}
+    for group, slot in zip(ordered, assignment):
+        out[workers[slot]].append(group)
+    return out
+
+
+def lpt_reassign_groups(
+    groups: Sequence[ChainGroupTask],
+    assignment: Dict[int, int],
+    completed: Set[int],
+    dead_workers: Set[int],
+    num_workers: int,
+) -> Dict[int, List[ChainGroupTask]]:
+    """Re-balance unfinished groups off dead workers onto survivors.
+
+    ``assignment`` maps group_id -> the worker it was pinned to before
+    the deaths.  Thin descriptor layer over
+    :func:`repro.core.assignment.lpt_reassign`, so the real backend's
+    re-assignment rounds exercise the exact arithmetic (and guarantees)
+    the :class:`~repro.sim.executor.ResilientExecutor` models.
+    """
+    ordered = sorted(groups, key=lambda g: g.group_id)
+    weights = [g.weight for g in ordered]
+    original = [assignment[g.group_id] for g in ordered]
+    done_indices = [
+        i for i, g in enumerate(ordered) if g.group_id in completed
+    ]
+    new_assignment, _loads = lpt_reassign(
+        weights, original, done_indices, dead_workers, num_workers
+    )
+    out: Dict[int, List[ChainGroupTask]] = {}
+    for i, group in enumerate(ordered):
+        if group.group_id in completed:
+            continue
+        out.setdefault(new_assignment[i], []).append(group)
+    return out

@@ -1,0 +1,302 @@
+"""RealExecutor: chain-group recovery on actual cores.
+
+The real sibling of :class:`~repro.sim.executor.ResilientExecutor`,
+behind the shared executor contract of :mod:`repro.sim.executor`
+(deterministic LPT assignment, bounded re-assignment rounds on worker
+death, a :class:`~repro.sim.executor.ReassignStats` ``stats`` field the
+recovery report reads uniformly).  Instead of charging virtual seconds
+it spawns one process per surviving worker and round, ships pickled
+:class:`~repro.real.descriptors.ChainGroupTask` descriptors, and merges
+:class:`~repro.real.descriptors.GroupResult` messages back.
+
+Guarantees:
+
+- **Exactly-once**: the parent tracks completed group ids; a group is
+  re-assigned only while incomplete, and a duplicate completion raises
+  :class:`~repro.errors.RecoveryError` (the property tests drive this
+  under randomized die/straggle plans).
+- **Determinism**: assignment uses :func:`lpt_assign_groups` /
+  :func:`lpt_reassign_groups` over group ids and weights only, and
+  cooperative deaths trigger at fixed completed-group counts — so the
+  same plan, worker count and fault plan always yield the identical
+  ``assignment_log``, regardless of message arrival order.
+- **No hangs**: queue reads poll with a timeout, worker liveness is
+  checked every poll (a worker that vanishes without a terminal
+  message is declared dead after a grace period), and a hard per-round
+  deadline fails loudly instead of waiting forever.
+"""
+
+from __future__ import annotations
+
+import queue as queue_mod
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import BackendError, ConfigError, ReassignmentError, RecoveryError
+from repro.real.backend import (
+    RealFaultPlan,
+    ensure_real_backend_supported,
+    pick_start_method,
+)
+from repro.real.descriptors import (
+    ChainGroupTask,
+    GroupResult,
+    lpt_assign_groups,
+    lpt_reassign_groups,
+)
+from repro.real.worker import MSG_DIED, MSG_DONE, MSG_RESULT, run_worker
+from repro.sim.executor import ReassignStats
+
+#: grace period before a worker that exited without a terminal message
+#: is declared dead (its queued results may still be in the pipe).
+_HARD_DEATH_GRACE = 0.5
+
+
+@dataclass
+class RealRunResult:
+    """Outcome of executing one plan (one epoch's groups)."""
+
+    results: Dict[int, GroupResult] = field(default_factory=dict)
+    #: re-assignment rounds this plan needed (0 = no deaths observed).
+    rounds: int = 0
+    groups_reassigned: int = 0
+    ops_reassigned: int = 0
+    dead_workers: Tuple[int, ...] = ()
+    wall_seconds: float = 0.0
+    #: (round, group_id, worker) in deterministic assignment order.
+    assignment_log: Tuple[Tuple[int, int, int], ...] = ()
+    #: group_id -> completions observed (all exactly 1 on success).
+    completions: Dict[int, int] = field(default_factory=dict)
+
+
+class RealExecutor:
+    """Run chain-group plans on real cores with LPT fault recovery."""
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        fault_plan: Optional[RealFaultPlan] = None,
+        reassign_budget: int = 3,
+        start_method: Optional[str] = None,
+        hard_timeout: float = 120.0,
+        poll_interval: float = 0.02,
+    ):
+        if num_workers < 1:
+            raise ConfigError("num_workers must be >= 1")
+        if hard_timeout <= 0:
+            raise ConfigError("hard_timeout must be > 0")
+        ensure_real_backend_supported()
+        import multiprocessing
+
+        self.num_workers = num_workers
+        self.reassign_budget = reassign_budget
+        self.hard_timeout = hard_timeout
+        self.poll_interval = poll_interval
+        self._fault_plan = fault_plan or RealFaultPlan()
+        self._ctx = multiprocessing.get_context(pick_start_method(start_method))
+        try:
+            self._kill_flags = {
+                w: self._ctx.Event() for w in range(num_workers)
+            }
+        except OSError as exc:  # pragma: no cover - sandbox-dependent
+            raise BackendError(
+                f"real execution backend unsupported: cannot create "
+                f"cooperative kill flags ({exc})"
+            ) from exc
+        #: workers dead for the rest of this executor's life (deaths
+        #: persist across epochs, like a real core going away).
+        self.dead_workers: Set[int] = set()
+        #: per-worker chain groups completed across all plans.
+        self.completed_by_worker: Counter = Counter()
+        #: cumulative stats in the shared executor-contract shape.
+        self.stats = ReassignStats()
+        #: cumulative (round, group_id, worker) log across plans.
+        self.assignment_log: List[Tuple[int, int, int]] = []
+        #: cumulative wall seconds spent executing plans.
+        self.wall_seconds = 0.0
+        self._round_counter = 0
+
+    # ------------------------------------------------------------------
+    # cooperative fault injection
+    # ------------------------------------------------------------------
+
+    def kill_worker(self, worker_id: int) -> None:
+        """Set a worker's cooperative kill flag: it dies at the next
+        chain-group boundary (or before its first group of the next
+        round)."""
+        if not 0 <= worker_id < self.num_workers:
+            raise ConfigError(f"worker {worker_id} out of range")
+        self._kill_flags[worker_id].set()
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+
+    def run_plan(self, groups: Sequence[ChainGroupTask]) -> RealRunResult:
+        """Execute every group exactly once; re-assign around deaths."""
+        started = time.perf_counter()
+        plan = sorted(groups, key=lambda g: g.group_id)
+        ids = [g.group_id for g in plan]
+        if len(set(ids)) != len(ids):
+            raise ConfigError(f"duplicate group ids in plan: {ids}")
+        run = RealRunResult()
+        if not plan:
+            return run
+        assignment: Dict[int, int] = {}
+        log_start = len(self.assignment_log)
+        first_round = True
+        while True:
+            pending = [g for g in plan if g.group_id not in run.results]
+            if not pending:
+                break
+            alive = [
+                w for w in range(self.num_workers)
+                if w not in self.dead_workers
+            ]
+            if not alive:
+                raise ReassignmentError(
+                    "real backend: every worker died; chain groups "
+                    f"{sorted(g.group_id for g in pending)} have nowhere "
+                    "to go"
+                )
+            if first_round:
+                assigned = lpt_assign_groups(pending, alive)
+                first_round = False
+            else:
+                run.rounds += 1
+                self.stats.rounds += 1
+                if run.rounds > self.reassign_budget:
+                    raise ReassignmentError(
+                        f"real backend: re-assignment budget "
+                        f"({self.reassign_budget}) exhausted with "
+                        f"{len(pending)} chain groups unrecovered "
+                        f"(dead workers: {sorted(self.dead_workers)})"
+                    )
+                assigned = lpt_reassign_groups(
+                    plan,
+                    assignment,
+                    completed=set(run.results),
+                    dead_workers=self.dead_workers,
+                    num_workers=self.num_workers,
+                )
+                run.groups_reassigned += len(pending)
+                run.ops_reassigned += sum(len(g.ops) for g in pending)
+                self.stats.groups_reassigned += len(pending)
+                self.stats.tasks_reassigned += sum(
+                    len(g.ops) for g in pending
+                )
+            for worker in sorted(assigned):
+                for group in assigned[worker]:
+                    assignment[group.group_id] = worker
+                    self.assignment_log.append(
+                        (self._round_counter, group.group_id, worker)
+                    )
+            self._run_round(assigned, run)
+            self._round_counter += 1
+        run.dead_workers = tuple(sorted(self.dead_workers))
+        run.assignment_log = tuple(self.assignment_log[log_start:])
+        run.wall_seconds = time.perf_counter() - started
+        self.wall_seconds += run.wall_seconds
+        return run
+
+    def _die_after_for(self, worker: int) -> Optional[int]:
+        """Remaining completed-group budget before this worker's death."""
+        total = self._fault_plan.die_after.get(worker)
+        if total is None:
+            return None
+        return max(0, total - self.completed_by_worker[worker])
+
+    def _run_round(
+        self, assigned: Dict[int, List[ChainGroupTask]], run: RealRunResult
+    ) -> None:
+        """Spawn one process per assigned worker; collect until every
+        spawned worker delivered a terminal message (or hard-died)."""
+        result_queue = self._ctx.Queue()
+        procs: Dict[int, object] = {}
+        for worker in sorted(assigned):
+            tasks = assigned[worker]
+            if not tasks:
+                continue
+            die_after = self._die_after_for(worker)
+            if die_after == 0:
+                # The fault plan dooms this worker before any progress:
+                # fire its cooperative kill flag up front so the death
+                # is observed deterministically at spawn.
+                self._kill_flags[worker].set()
+            proc = self._ctx.Process(
+                target=run_worker,
+                args=(
+                    worker,
+                    tuple(tasks),
+                    result_queue,
+                    self._kill_flags[worker],
+                    die_after,
+                    self._fault_plan.straggle.get(worker, 0.0),
+                ),
+                daemon=True,
+            )
+            procs[worker] = proc
+            proc.start()
+        deadline = time.monotonic() + self.hard_timeout
+        suspect_since: Dict[int, float] = {}
+        terminal: Set[int] = set()
+        try:
+            while terminal != set(procs):
+                try:
+                    message = result_queue.get(timeout=self.poll_interval)
+                except queue_mod.Empty:
+                    now = time.monotonic()
+                    if now > deadline:
+                        raise RecoveryError(
+                            f"real backend: round exceeded hard timeout "
+                            f"({self.hard_timeout:.0f}s); workers "
+                            f"{sorted(set(procs) - terminal)} unresponsive"
+                        )
+                    for worker, proc in procs.items():
+                        if worker in terminal:
+                            continue
+                        if proc.is_alive():  # type: ignore[attr-defined]
+                            suspect_since.pop(worker, None)
+                            continue
+                        first_seen = suspect_since.setdefault(worker, now)
+                        if now - first_seen >= _HARD_DEATH_GRACE:
+                            # Hard death: the process vanished without a
+                            # terminal message.  Its delivered results
+                            # stand; the remainder re-assigns.
+                            self.dead_workers.add(worker)
+                            terminal.add(worker)
+                    continue
+                kind, worker, payload = message[0], message[1], (
+                    message[2] if len(message) > 2 else None
+                )
+                if kind == MSG_RESULT:
+                    assert isinstance(payload, GroupResult)
+                    gid = payload.group_id
+                    run.completions[gid] = run.completions.get(gid, 0) + 1
+                    if gid in run.results:
+                        raise RecoveryError(
+                            f"real backend: chain group {gid} completed "
+                            f"{run.completions[gid]} times "
+                            "(exactly-once violation)"
+                        )
+                    run.results[gid] = payload
+                    self.completed_by_worker[worker] += 1
+                elif kind == MSG_DIED:
+                    self.dead_workers.add(worker)
+                    terminal.add(worker)
+                elif kind == MSG_DONE:
+                    terminal.add(worker)
+                else:  # pragma: no cover - protocol bug
+                    raise RecoveryError(
+                        f"real backend: unknown worker message {kind!r}"
+                    )
+        finally:
+            for proc in procs.values():
+                proc.join(timeout=1.0)  # type: ignore[attr-defined]
+                if proc.is_alive():  # type: ignore[attr-defined]
+                    proc.terminate()  # type: ignore[attr-defined]
+                    proc.join(timeout=1.0)  # type: ignore[attr-defined]
+            result_queue.close()

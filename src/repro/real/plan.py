@@ -1,0 +1,215 @@
+"""Recovery-plan recording: turn a deterministic replay into descriptors.
+
+The real backend cannot ship the engine's object graph to worker
+processes; it ships :class:`~repro.real.descriptors.ChainGroupTask`
+descriptors whose every input is pre-resolved.  The resolution comes
+from a **dependency pre-pass**: the scheme's own (virtual-time) replay
+already computes every abort verdict and every cross-chain read value
+in the parent, so the recorder rides along with it — PACMAN-style
+static analysis of the redo log, and the single-node analogue of the
+cluster's cross-shard dependency frontier — and pins those values into
+the plan.  Workers then execute chains with zero communication, which
+is exactly the contention-free property restructuring buys (§V).
+
+Two recording paths exist:
+
+- :meth:`PlanRecorder.record_tpg` — generic: any scheme that replays
+  through a :class:`~repro.engine.tpg.TaskPrecedenceGraph` (CKPT
+  reprocessing, WAL sequential redo, DL/LV log replay, and every
+  fallback-ladder rung).  Committed chains are LPT-packed into
+  ``num_groups`` bundles; reads whose source lives in another bundle
+  are pinned, same-bundle reads stay ``local``.
+- direct :meth:`PlanRecorder.add_op` / :meth:`PlanRecorder.add_base`
+  calls — MorphStreamR's restructured path, whose views already
+  classified every read (BASE/VIEW/LOCAL), records its bundles as-is:
+  the logged partition map, not the recorder, decides the grouping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.assignment import lpt_assign
+from repro.engine.refs import StateRef
+from repro.engine.serial import SerialOutcome
+from repro.engine.state import StateStore
+from repro.engine.tpg import TaskPrecedenceGraph
+from repro.errors import SchedulingError
+from repro.real.descriptors import BASE, LOCAL, PIN, ChainGroupTask, OpSpec
+
+#: ref -> epoch-start value, captured before the replay mutates a store.
+BaseToken = Dict[StateRef, float]
+
+
+def capture_base(tpg: TaskPrecedenceGraph, store: StateStore) -> BaseToken:
+    """Snapshot the epoch-start value of every record the TPG touches.
+
+    Must run *before* the replay executes (both :func:`execute_tpg` and
+    :func:`execute_serial` mutate the store); the captured values seed
+    worker-side chains and base reads.
+    """
+    token: BaseToken = {}
+    for ref in tpg.chains:
+        token[ref] = store.get(ref)
+    for sources in tpg.pd_sources.values():
+        for ref, src in sources:
+            if src is None and ref not in token:
+                token[ref] = store.get(ref)
+    return token
+
+
+class PlanRecorder:
+    """Accumulates one epoch's chain groups while the parent replays."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[int, List[OpSpec]] = {}
+        self._base: Dict[int, Dict[Tuple[str, object], float]] = {}
+
+    def reset(self) -> None:
+        """Discard partial recordings (a fallback rung restarts them)."""
+        self._ops.clear()
+        self._base.clear()
+
+    # ------------------------------------------------------------------
+    # direct path (MorphStreamR restructured bundles)
+    # ------------------------------------------------------------------
+
+    def add_op(self, group_id: int, spec: OpSpec) -> None:
+        self._ops.setdefault(group_id, []).append(spec)
+
+    def add_base(
+        self, group_id: int, table: str, key: object, value: float
+    ) -> None:
+        self._base.setdefault(group_id, {})[(table, key)] = value
+
+    # ------------------------------------------------------------------
+    # generic path (TPG replay with outcome-pinned reads)
+    # ------------------------------------------------------------------
+
+    def record_tpg(
+        self,
+        tpg: TaskPrecedenceGraph,
+        outcome: SerialOutcome,
+        base: BaseToken,
+        num_groups: int,
+    ) -> None:
+        """Record a replayed TPG as LPT-balanced committed chain groups.
+
+        ``outcome`` must be the completed replay of ``tpg`` (it supplies
+        abort verdicts and the exact value of every read).  Aborted
+        operations are dropped — abort resolution happened in the
+        parent, so workers redo committed effects only.
+        """
+        if num_groups < 1:
+            raise SchedulingError("num_groups must be >= 1")
+        chains: List[Tuple[StateRef, List]] = []
+        for ref, ops in tpg.chains.items():
+            kept = [op for op in ops if op.txn_id not in outcome.aborted]
+            if kept:
+                chains.append((ref, kept))
+        if not chains:
+            return
+        # Chains are the locality unit: one chain never splits across
+        # groups (preserves in-order own-value threading).  LPT over
+        # chain lengths balances the groups deterministically.
+        assignment, _loads = lpt_assign(
+            [float(len(ops)) for _ref, ops in chains], num_groups
+        )
+        group_of_uid: Dict[int, int] = {}
+        for (_ref, ops), group in zip(chains, assignment):
+            for op in ops:
+                group_of_uid[op.uid] = group
+        for (ref, ops), group in zip(chains, assignment):
+            self.add_base(group, ref.table, ref.key, base[ref])
+            for op in ops:
+                specs: List[Tuple[object, ...]] = []
+                sources = tpg.pd_sources.get(op.uid, ())
+                values = outcome.read_values.get(op.uid, ())
+                if len(sources) != len(values):
+                    raise SchedulingError(
+                        f"op {op.uid}: {len(sources)} read sources but "
+                        f"{len(values)} resolved values"
+                    )
+                for (read_ref, src), value in zip(sources, values):
+                    if src is None:
+                        specs.append((BASE, read_ref.table, read_ref.key))
+                        self.add_base(
+                            group, read_ref.table, read_ref.key,
+                            base[read_ref],
+                        )
+                    elif (
+                        src in outcome.op_values
+                        and group_of_uid.get(src) == group
+                    ):
+                        specs.append((LOCAL, src))
+                    else:
+                        # Cross-group (or aborted-source passthrough)
+                        # read: pin the exact value the pre-pass saw.
+                        specs.append((PIN, value))
+                self.add_op(
+                    group,
+                    OpSpec(
+                        uid=op.uid,
+                        table=op.ref.table,
+                        key=op.ref.key,
+                        func=op.func,
+                        params=tuple(op.params),
+                        reads=tuple(specs),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # plan assembly
+    # ------------------------------------------------------------------
+
+    def build(
+        self, epoch_id: int, per_op_service_seconds: float = 0.0
+    ) -> List[ChainGroupTask]:
+        """Freeze the recording into picklable, uid-sorted group tasks.
+
+        Ops inside one group are sorted by uid — ascending uid is
+        timestamp order and hence topological, so every ``local`` read's
+        source precedes its consumer regardless of recording order.
+        """
+        groups: List[ChainGroupTask] = []
+        for group_id in sorted(self._ops):
+            ops = tuple(sorted(self._ops[group_id], key=lambda s: s.uid))
+            base_values = tuple(
+                (table, key, value)
+                for (table, key), value in sorted(
+                    self._base.get(group_id, {}).items(),
+                    key=lambda item: (item[0][0], str(item[0][1])),
+                )
+            )
+            groups.append(
+                ChainGroupTask(
+                    group_id=group_id,
+                    epoch_id=epoch_id,
+                    ops=ops,
+                    base_values=base_values,
+                    service_seconds=per_op_service_seconds * len(ops),
+                )
+            )
+        return groups
+
+    def __len__(self) -> int:
+        return sum(len(ops) for ops in self._ops.values())
+
+
+def merge_group_results(
+    store: StateStore, results: Dict[int, "object"]
+) -> int:
+    """Install worker-recovered partition values into the engine store.
+
+    Returns the number of records written.  Deterministic: groups merge
+    in group-id order (their write sets are disjoint by construction —
+    a chain lives in exactly one group — so order cannot matter, but a
+    fixed order keeps the walk reproducible for debugging).
+    """
+    written = 0
+    for group_id in sorted(results):
+        result = results[group_id]
+        for table, key, value in result.final_values:
+            store.set(StateRef(table, key), value)
+            written += 1
+    return written

@@ -1,0 +1,87 @@
+"""Child-process loop of the real backend.
+
+One worker process receives its LPT-assigned chain groups up front (the
+plan is static within a round), executes them in order and streams one
+message per completed group back over the result queue.  The protocol
+is three message kinds, all picklable tuples:
+
+- ``("result", worker_id, GroupResult)`` — one group completed;
+- ``("died", worker_id, completed_group_ids)`` — the worker honoured a
+  fault injection (cooperative kill flag or completed-group budget) and
+  is exiting; anything not listed is lost and must be re-assigned;
+- ``("done", worker_id)`` — all assigned groups completed.
+
+Fault semantics are **cooperative**: the kill flag and the death budget
+are checked at group boundaries, so a "die" is always observable as a
+clean ``died`` message and the parent's accounting stays deterministic.
+A worker that disappears *without* a terminal message (a genuine crash)
+is still detected by the parent via process liveness — it is treated
+as a death that reported whatever results already arrived.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.real.descriptors import ChainGroupTask, execute_group
+
+#: message kinds on the result queue.
+MSG_RESULT = "result"
+MSG_DIED = "died"
+MSG_DONE = "done"
+
+
+def run_worker(
+    worker_id: int,
+    tasks: Sequence[ChainGroupTask],
+    result_queue,
+    kill_flag,
+    die_after_groups: Optional[int],
+    straggle_sleep: float,
+) -> None:
+    """Execute ``tasks`` in order, honouring cooperative fault flags.
+
+    ``die_after_groups`` is the worker-fault plan's death point: the
+    worker completes that many groups *in this round*, then dies.  The
+    externally settable ``kill_flag`` (a ``multiprocessing.Event``)
+    kills at the next group boundary regardless of the budget.
+    ``straggle_sleep`` seconds are slept before every group (the
+    straggle fault: the worker still finishes, just slower).
+    """
+    try:
+        # Side-effect imports: make sure every registry-name state
+        # function resolvable under the spawn start method (fork
+        # inherits the parent's registry; spawn starts clean).
+        import repro.workloads  # noqa: F401
+        import repro.cluster.sharding  # noqa: F401
+    except Exception:
+        pass
+    completed: List[int] = []
+    for task in tasks:
+        if kill_flag is not None and kill_flag.is_set():
+            result_queue.put((MSG_DIED, worker_id, tuple(completed)))
+            return
+        if die_after_groups is not None and len(completed) >= die_after_groups:
+            result_queue.put((MSG_DIED, worker_id, tuple(completed)))
+            return
+        if straggle_sleep > 0.0:
+            time.sleep(straggle_sleep)
+        if task.service_seconds > 0.0:
+            # Modeled service time: one sleep per group, proportional to
+            # its op count — releases the GIL/CPU, so concurrent groups
+            # genuinely overlap and wall-clock speedup reflects plan
+            # balance rather than interpreter throughput.
+            time.sleep(task.service_seconds)
+        result = execute_group(task)
+        result_queue.put((MSG_RESULT, worker_id, result))
+        completed.append(task.group_id)
+    result_queue.put((MSG_DONE, worker_id))
+
+
+def decode_message(message) -> Tuple[str, int, object]:
+    """Normalize a queue message to ``(kind, worker_id, payload)``."""
+    kind = message[0]
+    worker_id = message[1]
+    payload = message[2] if len(message) > 2 else None
+    return kind, worker_id, payload

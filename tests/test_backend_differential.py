@@ -1,0 +1,188 @@
+"""Differential suite: sim vs real backend, bit-for-bit.
+
+Every FT scheme × three workloads × seeded crash points runs the same
+crash-recovery cycle on both execution backends; the recovered state
+must be identical to the serial ground truth (and hence to each other),
+outputs must be delivered exactly once, and the real backend's chain
+assignment must be deterministic given the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.morphstreamr import MorphStreamR
+from repro.ft.checkpoint import GlobalCheckpoint
+from repro.ft.dlog import DependencyLogging
+from repro.ft.lsnvector import LSNVector
+from repro.ft.wal import WriteAheadLog
+from repro.harness.runner import ground_truth
+from repro.sim.executor import WorkerFault
+from repro.workloads.grep_sum import GrepSum
+from repro.workloads.streaming_ledger import StreamingLedger
+from repro.workloads.toll_processing import TollProcessing
+
+SCHEMES = {
+    "CKPT": GlobalCheckpoint,
+    "WAL": WriteAheadLog,
+    "DL": DependencyLogging,
+    "LV": LSNVector,
+    "MSR": MorphStreamR,
+}
+
+WORKLOADS = {
+    "SL": lambda: StreamingLedger(
+        128,
+        transfer_ratio=0.5,
+        multi_partition_ratio=0.3,
+        skew=0.6,
+        forced_abort_ratio=0.05,
+        num_partitions=4,
+    ),
+    "GS": lambda: GrepSum(
+        128,
+        list_len=4,
+        skew=0.9,
+        multi_partition_ratio=0.5,
+        abort_ratio=0.1,
+        num_partitions=4,
+    ),
+    "TP": lambda: TollProcessing(64, skew=0.6, num_partitions=4),
+}
+
+#: seeded crash points: epochs lost past the last checkpoint.
+CRASH_POINTS = (1, 2)
+
+EPOCH_LEN = 32
+SNAPSHOT_INTERVAL = 3
+NUM_WORKERS = 2
+
+
+def run_cycle(
+    scheme_name,
+    workload_name,
+    *,
+    backend,
+    recover_epochs,
+    seed=7,
+    faults=(),
+):
+    """One process → crash → recover cycle; returns (scheme, report, truth)."""
+    workload = WORKLOADS[workload_name]()
+    events = workload.generate(
+        EPOCH_LEN * (SNAPSHOT_INTERVAL + recover_epochs), seed
+    )
+    scheme = SCHEMES[scheme_name](
+        workload,
+        num_workers=NUM_WORKERS,
+        epoch_len=EPOCH_LEN,
+        snapshot_interval=SNAPSHOT_INTERVAL,
+        backend=backend,
+        recovery_faults=list(faults),
+    )
+    scheme.process_stream(events)
+    scheme.crash()
+    report = scheme.recover()
+    truth_state, truth_outputs = ground_truth(workload, events)
+    return scheme, report, truth_state, truth_outputs
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("recover_epochs", CRASH_POINTS)
+def test_real_matches_sim_and_ground_truth(
+    scheme_name, workload_name, recover_epochs
+):
+    """The full matrix: both backends land on the serial ground truth."""
+    sim_scheme, sim_report, truth_state, truth_outputs = run_cycle(
+        scheme_name, workload_name, backend="sim",
+        recover_epochs=recover_epochs,
+    )
+    real_scheme, real_report, _, _ = run_cycle(
+        scheme_name, workload_name, backend="real",
+        recover_epochs=recover_epochs,
+    )
+    # Bit-identical final state: real == sim == serial ground truth.
+    assert sim_scheme.store.equals(truth_state), sim_scheme.store.diff(
+        truth_state
+    )
+    assert real_scheme.store.equals(truth_state), real_scheme.store.diff(
+        truth_state
+    )
+    assert real_scheme.store.equals(sim_scheme.store)
+    # Exactly-once outputs on both backends.
+    assert sim_scheme.sink.outputs() == truth_outputs
+    assert real_scheme.sink.outputs() == truth_outputs
+    # Virtual accounting is backend-independent (the real backend rides
+    # on the same virtual replay), so reports stay comparable.
+    assert real_report.elapsed_seconds == pytest.approx(
+        sim_report.elapsed_seconds
+    )
+    assert real_report.epochs_replayed == sim_report.epochs_replayed
+    # The real report carries its own execution evidence.
+    assert real_report.backend == "real"
+    assert sim_report.backend == "sim"
+    assert real_report.real_groups > 0
+    assert real_report.real_wall_seconds > 0.0
+    assert real_report.real_assignments
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_chain_assignment_deterministic_across_runs(scheme_name):
+    """Same seed ⇒ identical (round, group, worker) assignment log."""
+    first_scheme, first_report, truth_state, _ = run_cycle(
+        scheme_name, "GS", backend="real", recover_epochs=2
+    )
+    second_scheme, second_report, _, _ = run_cycle(
+        scheme_name, "GS", backend="real", recover_epochs=2
+    )
+    assert first_report.real_assignments == second_report.real_assignments
+    assert first_report.real_groups == second_report.real_groups
+    assert first_scheme.store.equals(second_scheme.store)
+    assert first_scheme.store.equals(truth_state)
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_worker_death_differential(scheme_name):
+    """A real worker death re-assigns chains and still recovers exactly.
+
+    Worker 0 always holds work on every scheme (WAL's sequential-redo
+    plan is a single group, LPT-assigned to the lowest worker), so its
+    death is guaranteed observable.
+    """
+    faults = [WorkerFault(worker=0, kind="die", at_seconds=0.0)]
+    scheme, report, truth_state, truth_outputs = run_cycle(
+        scheme_name, "GS", backend="real", recover_epochs=2, faults=faults
+    )
+    assert scheme.store.equals(truth_state), scheme.store.diff(truth_state)
+    assert scheme.sink.outputs() == truth_outputs
+    assert report.dead_workers == (0,)
+    assert report.reassign_rounds >= 1
+    assert report.tasks_reassigned > 0
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_worker_straggle_differential(scheme_name):
+    """A straggler slows the real executor but never changes the result."""
+    faults = [
+        WorkerFault(worker=0, kind="straggle", at_seconds=0.0, slowdown=4.0)
+    ]
+    scheme, report, truth_state, _ = run_cycle(
+        scheme_name, "GS", backend="real", recover_epochs=1, faults=faults
+    )
+    assert scheme.store.equals(truth_state)
+    assert report.dead_workers == ()
+    assert report.reassign_rounds == 0
+
+
+def test_fault_assignment_log_deterministic():
+    """Death handling is deterministic too: identical reassignment log."""
+    faults = [WorkerFault(worker=0, kind="die", at_seconds=0.0)]
+    _, first, _, _ = run_cycle(
+        "CKPT", "GS", backend="real", recover_epochs=2, faults=faults
+    )
+    _, second, _, _ = run_cycle(
+        "CKPT", "GS", backend="real", recover_epochs=2, faults=faults
+    )
+    assert first.real_assignments == second.real_assignments
+    assert first.dead_workers == second.dead_workers == (0,)

@@ -1,0 +1,396 @@
+"""Real backend internals: descriptors, plan recording, the executor.
+
+Covers the picklability contract (task descriptors must survive a
+round trip to worker processes), deterministic LPT group assignment,
+the pure chain-group interpreter, and the executor's exactly-once /
+fault-recovery guarantees — the latter also as a Hypothesis property
+over random chain-group plans, worker counts and fault plans.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.refs import StateRef
+from repro.engine.state import StateStore
+from repro.errors import (
+    BackendError,
+    ConfigError,
+    ReassignmentError,
+    SchedulingError,
+)
+from repro.real.backend import (
+    RealFaultPlan,
+    pick_start_method,
+    real_backend_unavailable_reason,
+)
+from repro.real.descriptors import (
+    BASE,
+    LOCAL,
+    PIN,
+    ChainGroupTask,
+    GroupResult,
+    OpSpec,
+    execute_group,
+    lpt_assign_groups,
+    lpt_reassign_groups,
+)
+from repro.real.executor import RealExecutor
+from repro.real.plan import merge_group_results
+from repro.sim.executor import WorkerFault
+
+
+def make_group(group_id, ops_spec, base=(), service=0.0, epoch=0):
+    """Build a ChainGroupTask from (uid, key, func, params, reads) rows."""
+    ops = tuple(
+        OpSpec(
+            uid=uid,
+            table="t",
+            key=key,
+            func=func,
+            params=params,
+            reads=reads,
+        )
+        for uid, key, func, params, reads in ops_spec
+    )
+    return ChainGroupTask(
+        group_id=group_id,
+        epoch_id=epoch,
+        ops=ops,
+        base_values=tuple(base),
+        service_seconds=service,
+    )
+
+
+def store_for(groups):
+    """An engine store holding every record the groups write back."""
+    records = {}
+    for group in groups:
+        for _table, key, value in group.base_values:
+            records[key] = value
+    store = StateStore()
+    store.create_table("t", records)
+    return store
+
+
+def chain_group(group_id, keys, ops_per_key=2, start_uid=0):
+    """A deterministic little plan: ``deposit`` chains over ``keys``."""
+    rows = []
+    base = []
+    uid = start_uid
+    for key in keys:
+        base.append(("t", key, 10.0 * (hash(key) % 7)))
+        for _ in range(ops_per_key):
+            rows.append((uid, key, "deposit", (1.5,), ()))
+            uid += 1
+    return make_group(group_id, rows, base=base)
+
+
+class TestDescriptorPickling:
+    """Satellite regression: descriptors must stay pickle-cheap."""
+
+    def test_round_trip_preserves_everything(self):
+        task = make_group(
+            3,
+            [
+                (0, "a", "deposit", (2.0,), ((BASE, "t", "b"),)),
+                (1, "a", "grep_sum", (0.5,), ((LOCAL, 0), (PIN, 4.25))),
+            ],
+            base=[("t", "a", 1.0), ("t", "b", 2.0)],
+            service=0.125,
+            epoch=9,
+        )
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone == task
+        assert clone.weight == task.weight == 2.0
+        assert clone.ops[1].reads == ((LOCAL, 0), (PIN, 4.25))
+
+    def test_group_result_round_trip(self):
+        result = GroupResult(
+            group_id=1,
+            epoch_id=4,
+            final_values=(("t", "a", 3.5),),
+            op_values=((0, 3.5),),
+        )
+        assert pickle.loads(pickle.dumps(result)) == result
+
+    def test_descriptors_are_frozen(self):
+        task = chain_group(0, ["a"])
+        with pytest.raises(AttributeError):
+            task.group_id = 5
+        with pytest.raises(AttributeError):
+            task.ops[0].uid = 99
+
+
+class TestExecuteGroup:
+    def test_chain_threading_and_read_classes(self):
+        # Chain on "a": 1 -> (1+2)=3 -> (3 * base(b)=4 + pinned 10) = 22.
+        task = make_group(
+            0,
+            [
+                (0, "a", "deposit", (2.0,), ()),
+                (1, "a", "write_sum", (), ((BASE, "t", "b"), (PIN, 10.0))),
+            ],
+            base=[("t", "a", 1.0), ("t", "b", 4.0)],
+        )
+        result = execute_group(task)
+        assert result.final_values == (("t", "a", 17.0),)
+        assert dict(result.op_values) == {0: 3.0, 1: 17.0}
+
+    def test_local_read_resolves_within_group(self):
+        task = make_group(
+            0,
+            [
+                (0, "a", "deposit", (5.0,), ()),
+                (1, "b", "write_sum", (), ((LOCAL, 0),)),
+            ],
+            base=[("t", "a", 0.0), ("t", "b", 1.0)],
+        )
+        result = execute_group(task)
+        assert dict((k, v) for _t, k, v in result.final_values) == {
+            "a": 5.0,
+            "b": 6.0,
+        }
+
+    def test_missing_base_value_fails_loudly(self):
+        task = make_group(0, [(0, "a", "deposit", (1.0,), ())])
+        with pytest.raises(SchedulingError):
+            execute_group(task)
+
+    def test_missing_local_source_fails_loudly(self):
+        task = make_group(
+            0,
+            [(0, "a", "deposit", (1.0,), ((LOCAL, 99),))],
+            base=[("t", "a", 0.0)],
+        )
+        with pytest.raises(SchedulingError):
+            execute_group(task)
+
+
+class TestGroupAssignment:
+    def test_lpt_is_deterministic_and_balanced(self):
+        groups = [chain_group(g, [f"k{g}"], ops_per_key=g + 1) for g in range(6)]
+        first = lpt_assign_groups(groups, [0, 1, 2])
+        second = lpt_assign_groups(list(reversed(groups)), [0, 1, 2])
+        as_ids = lambda a: {w: [g.group_id for g in gs] for w, gs in a.items()}
+        assert as_ids(first) == as_ids(second)
+        loads = {
+            w: sum(g.weight for g in gs) for w, gs in first.items()
+        }
+        assert max(loads.values()) <= sum(g.weight for g in groups)
+
+    def test_reassign_moves_only_incomplete_groups(self):
+        groups = [chain_group(g, [f"k{g}"]) for g in range(4)]
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        moved = lpt_reassign_groups(
+            groups,
+            assignment,
+            completed={0},
+            dead_workers={0},
+            num_workers=2,
+        )
+        # All incomplete groups land on survivors; completed group 0 does
+        # not re-run, and the dead worker receives nothing.
+        assert set(moved) == {1}
+        assert sorted(g.group_id for g in moved[1]) == [1, 2, 3]
+
+    def test_reassign_with_no_survivors_raises(self):
+        groups = [chain_group(0, ["a"])]
+        with pytest.raises(ReassignmentError):
+            lpt_reassign_groups(
+                groups, {0: 0}, completed=set(),
+                dead_workers={0}, num_workers=1,
+            )
+
+
+class TestBackendGating:
+    def test_this_host_supports_the_real_backend(self):
+        assert real_backend_unavailable_reason() is None
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(BackendError):
+            pick_start_method("not-a-method")
+
+    def test_fault_plan_translation(self):
+        plan = RealFaultPlan.from_worker_faults(
+            [
+                WorkerFault(worker=0, kind="die", at_seconds=0.0),
+                WorkerFault(worker=1, kind="die", at_seconds=5.0),
+                WorkerFault(
+                    worker=2, kind="straggle", at_seconds=0.0, slowdown=3.0
+                ),
+            ],
+            num_workers=4,
+        )
+        assert plan.die_after == {0: 0, 1: 1}
+        assert plan.straggle[2] > 0.0
+        assert bool(plan)
+        assert not RealFaultPlan()
+
+
+class TestRealExecutor:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            RealExecutor(0)
+        with pytest.raises(ConfigError):
+            RealExecutor(1, hard_timeout=0.0)
+        executor = RealExecutor(2)
+        with pytest.raises(ConfigError):
+            executor.kill_worker(7)
+        with pytest.raises(ConfigError):
+            executor.run_plan([chain_group(0, ["a"]), chain_group(0, ["b"])])
+
+    def test_empty_plan_is_a_no_op(self):
+        run = RealExecutor(2).run_plan([])
+        assert run.results == {}
+        assert run.rounds == 0
+
+    def test_exactly_once_and_merge(self):
+        groups = [chain_group(g, [f"k{g}"], start_uid=10 * g) for g in range(5)]
+        executor = RealExecutor(2)
+        run = executor.run_plan(groups)
+        assert sorted(run.results) == [0, 1, 2, 3, 4]
+        assert all(count == 1 for count in run.completions.values())
+        assert run.dead_workers == ()
+        store = store_for(groups)
+        written = merge_group_results(store, run.results)
+        assert written == 5
+        for group in groups:
+            serial = execute_group(group)
+            for table, key, value in serial.final_values:
+                assert store.get(StateRef(table, key)) == value
+
+    def test_death_triggers_lpt_reassignment(self):
+        groups = [chain_group(g, [f"k{g}"], start_uid=10 * g) for g in range(4)]
+        executor = RealExecutor(
+            2, fault_plan=RealFaultPlan(die_after={1: 0})
+        )
+        run = executor.run_plan(groups)
+        assert sorted(run.results) == [0, 1, 2, 3]
+        assert run.dead_workers == (1,)
+        assert run.rounds == 1
+        assert run.groups_reassigned > 0
+        # The reassignment rounds land in the shared stats contract.
+        assert executor.stats.rounds == 1
+        assert executor.stats.groups_reassigned == run.groups_reassigned
+
+    def test_all_workers_dead_raises_loudly(self):
+        executor = RealExecutor(
+            2, fault_plan=RealFaultPlan(die_after={0: 0, 1: 0})
+        )
+        with pytest.raises(ReassignmentError):
+            executor.run_plan([chain_group(0, ["a"]), chain_group(1, ["b"])])
+
+    def test_straggler_completes_everything(self):
+        groups = [chain_group(g, [f"k{g}"], start_uid=10 * g) for g in range(3)]
+        executor = RealExecutor(
+            2, fault_plan=RealFaultPlan(straggle={0: 0.01})
+        )
+        run = executor.run_plan(groups)
+        assert sorted(run.results) == [0, 1, 2]
+        assert run.dead_workers == ()
+
+    def test_assignment_log_deterministic_across_executors(self):
+        groups = [chain_group(g, [f"k{g}"], start_uid=10 * g) for g in range(6)]
+        plans = [
+            RealExecutor(
+                3, fault_plan=RealFaultPlan(die_after={2: 0})
+            ).run_plan(groups)
+            for _ in range(2)
+        ]
+        assert plans[0].assignment_log == plans[1].assignment_log
+        assert plans[0].dead_workers == plans[1].dead_workers == (2,)
+
+    def test_deaths_persist_across_plans(self):
+        executor = RealExecutor(2, fault_plan=RealFaultPlan(die_after={0: 0}))
+        first = executor.run_plan([chain_group(0, ["a"])])
+        assert first.dead_workers == (0,)
+        second = executor.run_plan([chain_group(1, ["b"], start_uid=5)])
+        # Worker 0 stays dead: the second plan runs on worker 1 alone.
+        assert second.dead_workers == (0,)
+        assert {w for _r, _g, w in second.assignment_log} == {1}
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis property: exactly-once under random plans and fault plans
+# ---------------------------------------------------------------------------
+
+#: random chain-group plans: up to 6 groups, each with 1-3 single-key
+#: chains of 1-3 ops (random TPG shapes after LPT grouping).
+plans = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),  # chains in the group
+        st.integers(min_value=1, max_value=3),  # ops per chain
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build_plan(shape):
+    groups = []
+    uid = 0
+    for group_id, (num_chains, ops_per_chain) in enumerate(shape):
+        keys = [f"g{group_id}c{c}" for c in range(num_chains)]
+        groups.append(
+            chain_group(
+                group_id, keys, ops_per_key=ops_per_chain, start_uid=uid
+            )
+        )
+        uid += num_chains * ops_per_chain
+    return groups
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    shape=plans,
+    num_workers=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+def test_exactly_once_under_random_faults(shape, num_workers, data):
+    """Random TPG-shaped plans + random seeded die/straggle fault plans:
+    every chain group completes exactly once (no loss, no duplication),
+    and the merged state equals the serial execution of every group."""
+    groups = build_plan(shape)
+    # Leave at least one worker fault-free so the plan stays recoverable.
+    doomed = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_workers - 1),
+            max_size=max(0, num_workers - 1),
+            unique=True,
+        )
+    )
+    die_after = {
+        worker: data.draw(
+            st.integers(min_value=0, max_value=2), label=f"die_after[{worker}]"
+        )
+        for worker in doomed
+    }
+    straggler = data.draw(
+        st.integers(min_value=-1, max_value=num_workers - 1),
+        label="straggler",
+    )
+    straggle = {straggler: 0.002} if straggler >= 0 else {}
+    executor = RealExecutor(
+        num_workers,
+        fault_plan=RealFaultPlan(die_after=die_after, straggle=straggle),
+        reassign_budget=num_workers + 1,
+    )
+    run = executor.run_plan(groups)
+
+    assert sorted(run.results) == [g.group_id for g in groups]
+    assert all(count == 1 for count in run.completions.values())
+    assert set(run.dead_workers) <= set(die_after)
+    store = store_for(groups)
+    merge_group_results(store, run.results)
+    for group in groups:
+        for table, key, value in execute_group(group).final_values:
+            assert store.get(StateRef(table, key)) == value
