@@ -1,0 +1,335 @@
+"""Budgeted systematic exploration of the fault-schedule space.
+
+The explorer enumerates schedules breadth-first — per-scheme baselines
+first (they anchor worker-fault timing and establish crash-point
+coverage on the healthy path), then every single-atom schedule, then
+atom pairs with cross-family pairs prioritized (a storage fault *plus*
+a crash mid-recovery is where protocols break, not two variants of the
+same fault).  Order within a tier is shuffled by the frontier seed so
+different seeds explore different prefixes of the same space under a
+tight budget, while one seed is always fully deterministic.
+
+Every run is checked against the invariant registry.  A violation is
+delta-debugged to a 1-minimal schedule (:mod:`repro.check.shrink`) and
+packaged as a self-contained repro payload (``repro.check/v1``) that
+``repro check --replay`` re-executes deterministically.  Coverage
+accounting aggregates crash-point passes across all runs and — by
+default — fails the exploration when a registered recovery-domain
+point never fired: an unreachable crash point means a recovery
+milestone the test surface silently stopped exercising.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+from repro.check.invariants import check_observation, get_invariant
+from repro.check.runner import (
+    CheckConfig,
+    RunObservation,
+    run_schedule,
+)
+from repro.check.schedule import (
+    CLUSTER_SCHEME,
+    FaultAtom,
+    Schedule,
+    cluster_atoms,
+    expand,
+    schedule_fingerprint,
+    single_scheme_atoms,
+)
+from repro.crashpoints import DOMAIN_RECOVERY, registered_points
+from repro.errors import ConfigError
+
+#: Schema tag of counterexample repro files.
+REPRO_SCHEMA = "repro.check/v1"
+#: Schema tag of the ``repro check --json`` report.
+REPORT_SCHEMA = "repro.check.report/v1"
+
+#: Counterexamples shrunk and reported per exploration; further
+#: violations of an already-reported (invariant, scheme) pair are
+#: recorded as runs but not shrunk again.
+MAX_COUNTEREXAMPLES = 8
+
+
+@dataclass
+class Counterexample:
+    """One invariant violation, minimized and ready to replay."""
+
+    invariant: str
+    detail: str
+    #: schedule the frontier found the violation with.
+    found_with: Schedule
+    #: 1-minimal schedule still violating the invariant.
+    minimal: Schedule
+    fingerprint: str
+    frontier_seed: int
+    shrink_runs: int
+    observation: RunObservation
+
+
+@dataclass
+class CheckReport:
+    """What one exploration ran, found, and covered."""
+
+    config: CheckConfig
+    #: per-schedule summaries in execution order.
+    runs: List[Dict[str, object]] = field(default_factory=list)
+    counterexamples: List[Counterexample] = field(default_factory=list)
+    #: crash-point name -> passes observed across every run.
+    coverage: Dict[str, int] = field(default_factory=dict)
+    #: recovery-domain points the exploration was required to fire.
+    required_points: Tuple[str, ...] = ()
+    budget_spent: int = 0
+    shrink_runs: int = 0
+    #: schedules the budget did not reach.
+    frontier_unexplored: int = 0
+
+    @property
+    def uncovered_points(self) -> List[str]:
+        return [p for p in self.required_points if not self.coverage.get(p)]
+
+    @property
+    def coverage_ok(self) -> bool:
+        return not self.uncovered_points
+
+    @property
+    def passed(self) -> bool:
+        if self.counterexamples:
+            return False
+        if self.config.require_coverage and not self.coverage_ok:
+            return False
+        return True
+
+
+def _required_points(cfg: CheckConfig) -> Tuple[str, ...]:
+    names = []
+    for point in registered_points(domain=DOMAIN_RECOVERY):
+        if point.schemes and not set(point.schemes) & set(cfg.schemes):
+            continue
+        names.append(point.name)
+    return tuple(names)
+
+
+def build_frontier(cfg: CheckConfig) -> List[Schedule]:
+    """The deterministic exploration order for one config."""
+    rng = random.Random(cfg.seed)
+    baselines = [Schedule(scheme, ()) for scheme in cfg.schemes]
+    depth1: List[Schedule] = []
+    vocab: Dict[str, List[FaultAtom]] = {}
+    for scheme in cfg.schemes:
+        vocab[scheme] = single_scheme_atoms(scheme)
+        depth1.extend(Schedule(scheme, (a,)) for a in vocab[scheme])
+    if cfg.include_cluster:
+        vocab[CLUSTER_SCHEME] = cluster_atoms()
+        depth1.extend(
+            Schedule(CLUSTER_SCHEME, (a,)) for a in vocab[CLUSTER_SCHEME]
+        )
+    rng.shuffle(depth1)
+    frontier = baselines + depth1
+    if cfg.max_depth >= 2:
+        seen = set(frontier)
+        pairs: List[Schedule] = []
+        for single in sorted(depth1, key=lambda s: s.label):
+            for extended in expand(single, vocab[single.scheme]):
+                if extended not in seen:
+                    seen.add(extended)
+                    pairs.append(extended)
+        # Cross-family pairs first: a fault *and* a crash in its
+        # recovery is the classic protocol-breaking combination.
+        rng.shuffle(pairs)
+        pairs.sort(key=lambda s: 0 if len({a.family for a in s.atoms}) > 1 else 1)
+        frontier += pairs
+    return frontier
+
+
+def _run_summary(
+    schedule: Schedule, obs: RunObservation, violations
+) -> Dict[str, object]:
+    return {
+        "schedule": schedule.label,
+        "outcome": obs.outcome,
+        "detail": obs.detail,
+        "violations": [v.invariant for v in violations],
+    }
+
+
+def explore(cfg: Optional[CheckConfig] = None) -> CheckReport:
+    """Run one budgeted exploration. Deterministic for a given config."""
+    cfg = cfg or CheckConfig()
+    report = CheckReport(config=cfg, required_points=_required_points(cfg))
+    frontier = build_frontier(cfg)
+    shrunk_keys = set()
+    for index, schedule in enumerate(frontier):
+        if report.budget_spent >= cfg.budget:
+            report.frontier_unexplored = len(frontier) - index
+            break
+        obs = run_schedule(schedule, cfg)
+        report.budget_spent += 1
+        for point, count in obs.points_passed.items():
+            report.coverage[point] = report.coverage.get(point, 0) + count
+        violations = check_observation(obs)
+        report.runs.append(_run_summary(schedule, obs, violations))
+        for violation in violations:
+            key = (violation.invariant, schedule.scheme)
+            if key in shrunk_keys:
+                continue
+            if len(report.counterexamples) >= MAX_COUNTEREXAMPLES:
+                continue
+            shrunk_keys.add(key)
+            minimal, min_obs, runs = _shrink(schedule, cfg, violation.invariant)
+            min_violations = check_observation(min_obs)
+            detail = next(
+                (
+                    v.detail
+                    for v in min_violations
+                    if v.invariant == violation.invariant
+                ),
+                violation.detail,
+            )
+            report.shrink_runs += runs
+            report.counterexamples.append(
+                Counterexample(
+                    invariant=violation.invariant,
+                    detail=detail,
+                    found_with=schedule,
+                    minimal=minimal,
+                    fingerprint=schedule_fingerprint(
+                        minimal, cfg.scenario_payload()
+                    ),
+                    frontier_seed=cfg.seed,
+                    shrink_runs=runs,
+                    observation=min_obs,
+                )
+            )
+    return report
+
+
+def _shrink(schedule: Schedule, cfg: CheckConfig, invariant: str):
+    from repro.check.shrink import shrink_schedule
+
+    return shrink_schedule(schedule, cfg, invariant)
+
+
+def repro_payload(ce: Counterexample, cfg: CheckConfig) -> Dict[str, object]:
+    """Self-contained replayable counterexample document."""
+    return {
+        "schema": REPRO_SCHEMA,
+        "invariant": ce.invariant,
+        "detail": ce.detail,
+        "fingerprint": ce.fingerprint,
+        "frontier_seed": ce.frontier_seed,
+        "scenario": cfg.scenario_payload(),
+        "schedule": ce.minimal.to_payload(),
+        "found_with": ce.found_with.to_payload(),
+        "shrink_runs": ce.shrink_runs,
+        "observed": {
+            "outcome": ce.observation.outcome,
+            "detail": ce.observation.detail,
+        },
+    }
+
+
+def load_repro_payload(payload: object) -> Dict[str, object]:
+    """Validate a repro document; tolerate unknown fields.
+
+    Unknown top-level keys are ignored (same forward-compatibility
+    stance as the soak trajectory loader), but the schema tag must
+    match and the schedule must parse.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError("repro payload must be a JSON object")
+    schema = payload.get("schema")
+    if schema != REPRO_SCHEMA:
+        raise ConfigError(
+            f"unsupported repro schema {schema!r} (expected {REPRO_SCHEMA})"
+        )
+    try:
+        schedule = Schedule.from_payload(payload["schedule"])
+        invariant = str(payload["invariant"])
+    except KeyError as exc:
+        raise ConfigError(f"repro payload missing field: {exc}")
+    get_invariant(invariant)
+    scenario = payload.get("scenario", {})
+    if not isinstance(scenario, dict):
+        raise ConfigError("repro payload scenario must be an object")
+    return {
+        "schedule": schedule,
+        "invariant": invariant,
+        "scenario": scenario,
+        "fingerprint": str(payload.get("fingerprint", "")),
+        "frontier_seed": payload.get("frontier_seed"),
+    }
+
+
+def config_for_replay(schedule: Schedule, scenario: Dict[str, object]) -> CheckConfig:
+    """Rebuild the scenario a repro file was recorded under.
+
+    Scenario keys that CheckConfig does not know are dropped — a repro
+    recorded by a newer version still replays on the knobs both sides
+    understand.
+    """
+    known = {f.name for f in fields(CheckConfig)}
+    kwargs = {k: v for k, v in scenario.items() if k in known}
+    if schedule.scheme != CLUSTER_SCHEME:
+        kwargs["schemes"] = (schedule.scheme,)
+    return CheckConfig(**kwargs)
+
+
+def replay_repro(payload: object) -> Dict[str, object]:
+    """Re-run a repro file's minimal schedule; report whether it still fails."""
+    loaded = load_repro_payload(payload)
+    schedule: Schedule = loaded["schedule"]
+    cfg = config_for_replay(schedule, loaded["scenario"])
+    obs = run_schedule(schedule, cfg)
+    violations = check_observation(obs)
+    hit = next(
+        (v for v in violations if v.invariant == loaded["invariant"]), None
+    )
+    return {
+        "reproduced": hit is not None,
+        "invariant": loaded["invariant"],
+        "fingerprint": loaded["fingerprint"]
+        or schedule_fingerprint(schedule, cfg.scenario_payload()),
+        "frontier_seed": loaded["frontier_seed"],
+        "schedule": schedule.label,
+        "outcome": obs.outcome,
+        "detail": hit.detail if hit else obs.detail,
+        "other_violations": [
+            v.invariant for v in violations if v.invariant != loaded["invariant"]
+        ],
+    }
+
+
+def report_payload(report: CheckReport) -> Dict[str, object]:
+    """The JSON document ``repro check --json`` exports."""
+    from dataclasses import asdict
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "config": asdict(report.config),
+        "passed": report.passed,
+        "budget_spent": report.budget_spent,
+        "shrink_runs": report.shrink_runs,
+        "frontier_unexplored": report.frontier_unexplored,
+        "coverage": dict(report.coverage),
+        "required_points": list(report.required_points),
+        "uncovered_points": report.uncovered_points,
+        "coverage_ok": report.coverage_ok,
+        "counterexamples": [
+            {
+                "invariant": ce.invariant,
+                "detail": ce.detail,
+                "fingerprint": ce.fingerprint,
+                "frontier_seed": ce.frontier_seed,
+                "found_with": ce.found_with.label,
+                "minimal": ce.minimal.label,
+                "minimal_atoms": len(ce.minimal.atoms),
+                "shrink_runs": ce.shrink_runs,
+            }
+            for ce in report.counterexamples
+        ],
+        "runs": list(report.runs),
+    }

@@ -9,6 +9,7 @@ Subcommands::
     repro chaos [--smoke] [--seed N] [--max-mttr S] [--backend real]
     repro cluster --shards 8 --placement checkpoint_spread --kill rack:0
     repro soak [--smoke] [--mode single|cluster|both] [--bench BENCH_soak.json]
+    repro check [--budget N] [--max-depth D] [--replay repro.json]
 
 ``repro run`` executes one runtime → crash → recovery experiment with
 full verification and prints both reports; ``repro figure`` regenerates
@@ -33,11 +34,23 @@ cross-validated against the virtual replay).  With ``--bench`` it sweeps
 worker counts and exports the wall-clock speedup curve as
 ``BENCH_realexec.json``.
 
-Exit codes are CI contracts: ``chaos`` and ``soak`` return non-zero on
-any verification failure, data loss, SLO breach or perf regression.
-Exit code ``3`` is reserved for backend-selection failures: requesting
-``--backend real`` on a host that cannot spawn worker processes, or
-with a worker count below 1, fails loudly *before* any work starts.
+``repro check`` is the systematic fault-schedule explorer: it
+enumerates combinations of storage faults, mid-epoch crashes,
+recovery-worker failures, crashes at registered recovery milestones and
+correlated cluster kills under a run budget, checks every run against
+the declarative invariant registry, delta-debugs any violation to a
+minimal fault set and emits a replayable repro file; ``--replay``
+re-triggers a saved counterexample deterministically.
+
+Exit codes are CI contracts (see :mod:`repro.exitcodes` and the README
+table): ``chaos`` and ``soak`` return non-zero on any verification
+failure, data loss, SLO breach or perf regression.  Exit code ``3`` is
+reserved for backend-selection failures: requesting ``--backend real``
+on a host that cannot spawn worker processes, or with a worker count
+below 1, fails loudly *before* any work starts.  Exit code ``4`` means
+``repro check`` found (or ``--replay`` reproduced) an invariant
+violation — distinct from ``1`` (coverage gap or harness failure) so CI
+can route counterexamples to the artifact-upload path.
 """
 
 from __future__ import annotations
@@ -60,14 +73,16 @@ from repro.harness.report import (
 )
 from repro.harness.runner import ExperimentConfig, run_experiment
 
-#: CLI exit codes (CI contracts).
-EXIT_OK = 0
-EXIT_FAILURE = 1
-EXIT_USAGE = 2
-#: the selected execution backend cannot run (unsupported platform,
-#: worker count < 1) — distinct so CI can tell "host can't do it"
-#: from "recovery was wrong".
-EXIT_BACKEND = 3
+# Exit codes live in repro.exitcodes (one definition for every
+# entrypoint); re-exported here because callers and tests historically
+# import them from the CLI module.
+from repro.exitcodes import (  # noqa: F401  (re-export)
+    EXIT_BACKEND,
+    EXIT_FAILURE,
+    EXIT_INVARIANT,
+    EXIT_OK,
+    EXIT_USAGE,
+)
 
 #: figure name -> (callable, human description).
 FIGURES: Dict[str, tuple] = {
@@ -386,6 +401,71 @@ def _build_parser() -> argparse.ArgumentParser:
         default="sim",
         help="execution backend for single-mode recoveries (cluster "
         "mode always runs sim)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="systematic fault-schedule exploration: enumerate fault "
+        "combinations, check recovery invariants, shrink and export "
+        "counterexamples",
+    )
+    check.add_argument(
+        "--budget",
+        type=int,
+        default=96,
+        help="schedule executions the frontier may spend",
+    )
+    check.add_argument(
+        "--max-depth",
+        type=int,
+        default=2,
+        choices=(1, 2),
+        help="largest number of fault atoms combined in one schedule",
+    )
+    check.add_argument(
+        "--schemes",
+        default=None,
+        metavar="CSV",
+        help="comma-separated scheme subset (e.g. MSR,CKPT); default "
+        "MSR,WAL,CKPT",
+    )
+    check.add_argument(
+        "--no-cluster",
+        action="store_true",
+        help="skip correlated cluster-kill schedules",
+    )
+    check.add_argument("--seed", type=int, default=7)
+    check.add_argument(
+        "--no-coverage",
+        action="store_true",
+        help="do not fail when a registered recovery crash point never "
+        "fired",
+    )
+    check.add_argument(
+        "--json",
+        type=Path,
+        nargs="?",
+        const=Path("-"),
+        default=None,
+        metavar="PATH",
+        help="export the full exploration report as JSON (bare --json "
+        "prints to stdout)",
+    )
+    check.add_argument(
+        "--repro-dir",
+        type=Path,
+        default=Path("check-repros"),
+        metavar="DIR",
+        help="directory minimized counterexample repro files are "
+        "written to",
+    )
+    check.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="re-run a saved repro file instead of exploring; exits 4 "
+        "when the violation still reproduces",
     )
 
     cal = sub.add_parser(
@@ -1248,6 +1328,161 @@ def _emit_json(target: Path, payload: Dict) -> None:
         print(f"\nexported cluster report to {target}")
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.check.explorer import (
+        build_frontier,
+        explore,
+        replay_repro,
+        report_payload,
+        repro_payload,
+    )
+    from repro.check.runner import CheckConfig
+    from repro.errors import ConfigError
+    from repro.harness.export import write_json
+
+    if args.replay is not None:
+        try:
+            payload = json.loads(args.replay.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"cannot read repro file {args.replay}: {exc}")
+            return EXIT_USAGE
+        try:
+            result = replay_repro(payload)
+        except ConfigError as exc:
+            print(f"invalid repro file: {exc}")
+            return EXIT_USAGE
+        print(
+            f"replaying {result['schedule']} against invariant "
+            f"{result['invariant']} ..."
+        )
+        if result["reproduced"]:
+            print(f"REPRODUCED: {result['detail']}")
+            print(
+                f"schedule fingerprint: {result['fingerprint']} "
+                f"(frontier seed {result['frontier_seed']})"
+            )
+            return EXIT_INVARIANT
+        print(
+            f"did not reproduce (run ended {result['outcome']}: "
+            f"{result['detail'] or 'no violation'})"
+        )
+        return EXIT_OK
+
+    kwargs: Dict = {
+        "budget": args.budget,
+        "max_depth": args.max_depth,
+        "seed": args.seed,
+        "include_cluster": not args.no_cluster,
+        "require_coverage": not args.no_coverage,
+    }
+    if args.schemes:
+        wanted = tuple(
+            s.strip().upper() for s in args.schemes.split(",") if s.strip()
+        )
+        unknown = sorted(set(wanted) - set(SCHEMES))
+        if unknown:
+            print(f"unknown scheme(s): {', '.join(unknown)}")
+            return EXIT_USAGE
+        kwargs["schemes"] = wanted
+    try:
+        cfg = CheckConfig(**kwargs)
+    except ConfigError as exc:
+        print(f"invalid configuration: {exc}")
+        return EXIT_USAGE
+    frontier_size = len(build_frontier(cfg))
+    print(
+        f"exploring {min(cfg.budget, frontier_size)} of {frontier_size} "
+        f"schedules (depth <= {cfg.max_depth}, schemes "
+        f"{','.join(cfg.schemes)}"
+        f"{'+cluster' if cfg.include_cluster else ''}, "
+        f"frontier seed {cfg.seed}) ..."
+    )
+    report = explore(cfg)
+
+    covered = [p for p in report.required_points if report.coverage.get(p)]
+    print_figure(
+        "Crash-point coverage",
+        render_table(
+            ["point", "passes", "covered"],
+            [
+                [p, str(report.coverage.get(p, 0)),
+                 "yes" if report.coverage.get(p) else "NO"]
+                for p in report.required_points
+            ],
+        ),
+    )
+    print(
+        f"\n{report.budget_spent} schedules run "
+        f"(+{report.shrink_runs} shrink runs), "
+        f"{report.frontier_unexplored} left unexplored; "
+        f"{len(covered)}/{len(report.required_points)} registered "
+        f"recovery crash points fired"
+    )
+
+    repro_paths = []
+    if report.counterexamples:
+        rows = []
+        args.repro_dir.mkdir(parents=True, exist_ok=True)
+        for ce in report.counterexamples:
+            path = args.repro_dir / f"repro-{ce.invariant}-{ce.fingerprint}.json"
+            write_json(path, repro_payload(ce, cfg))
+            repro_paths.append(path)
+            rows.append(
+                [
+                    ce.invariant,
+                    ce.found_with.label,
+                    ce.minimal.label,
+                    str(len(ce.minimal.atoms)),
+                    ce.fingerprint,
+                ]
+            )
+        print_figure(
+            "Counterexamples (minimized)",
+            render_table(
+                ["invariant", "found with", "minimal", "atoms", "fingerprint"],
+                rows,
+            ),
+        )
+        for ce, path in zip(report.counterexamples, repro_paths):
+            print(f"  {ce.detail}")
+            print(
+                f"  schedule fingerprint: {ce.fingerprint} "
+                f"(frontier seed {ce.frontier_seed}) — replay with: "
+                f"repro check --replay {path}"
+            )
+
+    if args.json is not None:
+        doc = report_payload(report)
+        if str(args.json) == "-":
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            write_json(args.json, doc)
+            print(f"exported exploration report to {args.json}")
+
+    if report.counterexamples:
+        print(
+            f"\ncheck: {len(report.counterexamples)} invariant "
+            f"violation(s) found — repro files in {args.repro_dir}/"
+        )
+        return EXIT_INVARIANT
+    if cfg.require_coverage and not report.coverage_ok:
+        print(
+            "\ncheck: COVERAGE GAP — registered crash points never fired: "
+            f"{', '.join(report.uncovered_points)} "
+            f"(frontier seed {cfg.seed}; raise --budget or --max-depth)"
+        )
+        return EXIT_FAILURE
+    from repro.check.invariants import INVARIANTS
+
+    print(
+        f"\ncheck: all {report.budget_spent} explored schedules satisfy "
+        f"all {len(INVARIANTS)} invariants"
+    )
+    return EXIT_OK
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     scale = figures.QUICK_SCALE if args.quick else figures.DEFAULT_SCALE
     print("running the qualitative-claim battery ...")
@@ -1287,6 +1522,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_cluster(args)
         if args.command == "soak":
             return _cmd_soak(args)
+        if args.command == "check":
+            return _cmd_check(args)
         if args.command == "calibrate":
             return _cmd_calibrate(args)
     except BackendError as exc:

@@ -72,6 +72,22 @@ class ClusterFaultPlan:
             return None
         return min(k.after_epoch for k in self.kills)
 
+    def correlation_width(self, topology: ClusterTopology) -> int:
+        """Distinct nodes whose storage the plan's kills destroy.
+
+        This is the width the "no data loss while correlation width ≤
+        replication" invariant compares against the replication factor.
+        A shard-process kill contributes no node (its durable storage
+        survives, width 0), and overlapping kills (a rack plus one of
+        its nodes) count each node once.
+        """
+        nodes = set()
+        for kill in self.kills:
+            target = kill.parsed()
+            topology.validate(target)
+            nodes.update(topology.nodes_killed(target))
+        return len(nodes)
+
     def injector_for(self, shard: int) -> Optional[FaultInjector]:
         specs = self.storage_faults.get(shard)
         if not specs:

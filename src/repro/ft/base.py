@@ -173,6 +173,11 @@ class RecoveryReport:
     checkpoint_epoch: Optional[int] = None
     #: unreadable checkpoints skipped before one verified.
     checkpoint_fallbacks: int = 0
+    #: checkpoint epochs on disk when the ladder walked them, newest
+    #: first (empty when this run resumed past the ladder) — lets a
+    #: checker assert the ladder took rungs in order without guessing
+    #: what recovery saw after crash-debris discard.
+    checkpoint_candidates: List[int] = field(default_factory=list)
     #: this run resumed from a durable progress watermark.
     resumed: bool = False
     #: first epoch this run actually replayed when resuming (None when
@@ -907,6 +912,7 @@ class FTScheme(ABC):
         events_replayed = 0
         epochs = 0
         ckpt_fallbacks = 0
+        ckpt_candidates: List[int] = []
         resumed = False
         resumed_from: Optional[int] = None
         store = StateStore()
@@ -937,6 +943,7 @@ class FTScheme(ABC):
                     mark.get("chains_done", 0)
                 )
         else:
+            ckpt_candidates = self.disk.snapshots.epochs_desc()
             state, snap_epoch, ckpt_fallbacks, io_s = self._load_checkpoint()
             store.restore(state)
             machine.spend_all(buckets.RELOAD, io_s)
@@ -1029,6 +1036,7 @@ class FTScheme(ABC):
             fallbacks=fallbacks,
             checkpoint_epoch=snap_epoch,
             checkpoint_fallbacks=ckpt_fallbacks,
+            checkpoint_candidates=ckpt_candidates,
             resumed=resumed,
             resumed_from_epoch=resumed_from,
             watermark_saves=self._watermark_saves,
@@ -1193,11 +1201,23 @@ class FTScheme(ABC):
             raise MissingSegmentError(
                 f"{self.name}: no checkpoint available on disk"
             )
+        # Lazy import: repro.check.mutations is a leaf module, but the
+        # scheme layer must not depend on the checker package at import
+        # time (the checker's runner imports this module).
+        from repro.check.mutations import mutation_enabled
+
         fallbacks = 0
         last_error: Optional[Exception] = None
         for snap_epoch in candidates:
             try:
                 state, io_s = self.disk.snapshots.load(snap_epoch)
+                if fallbacks and mutation_enabled("skip-ladder-rung"):
+                    # Seeded bug (checker validation only, armed via the
+                    # REPRO_CHECK_MUTATION env flag): report the epoch of
+                    # the *newest* candidate instead of the rung actually
+                    # loaded, so replay starts after the skipped epochs —
+                    # a silent divergence the explorer must find.
+                    return state, candidates[0], fallbacks, io_s
                 return state, snap_epoch, fallbacks, io_s
             except DEGRADABLE_ERRORS as exc:
                 if not self.allow_degraded_recovery:

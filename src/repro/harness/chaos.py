@@ -86,6 +86,10 @@ OUTCOME_DEGRADED = "exact-degraded"
 OUTCOME_FAILED_LOUD = "failed-loud"
 OUTCOME_UNEXPECTED = "UNEXPECTED"
 
+#: Schema tag of the ``repro chaos --json`` export (same convention as
+#: ``repro.soak/v1`` and ``repro.soak.bench/v1`` in harness/slo.py).
+CHAOS_SCHEMA = "repro.chaos/v1"
+
 
 @dataclass(frozen=True)
 class ChaosConfig:
@@ -255,7 +259,13 @@ def smoke_config(seed: int = 7) -> ChaosConfig:
     )
 
 
-def _make_workload(cfg: ChaosConfig) -> StreamingLedger:
+def make_workload() -> StreamingLedger:
+    """The canonical chaos workload, shared with the fault explorer.
+
+    Both harnesses must stress the same mix (transfers, multi-partition
+    chains, forced aborts) so a schedule found by ``repro check`` can be
+    discussed in chaos-cell terms and vice versa.
+    """
     return StreamingLedger(
         64,
         transfer_ratio=0.6,
@@ -266,8 +276,13 @@ def _make_workload(cfg: ChaosConfig) -> StreamingLedger:
     )
 
 
-def _fault_specs(
-    fault_kind: str, crash_point: str, stream: Optional[str], cfg: ChaosConfig
+def placed_fault_specs(
+    fault_kind: str,
+    crash_point: str,
+    stream: Optional[str],
+    *,
+    snapshot_interval: int,
+    total_epochs: int,
 ) -> List[FaultSpec]:
     """Place the faults so they hit segments recovery will need.
 
@@ -293,7 +308,7 @@ def _fault_specs(
             FaultSpec(
                 "crash",
                 target="log",
-                nth=cfg.snapshot_interval + 2,
+                nth=snapshot_interval + 2,
                 stream=stream,
             )
         )
@@ -324,9 +339,9 @@ def _fault_specs(
         )
         return specs
     if crash_point == "boundary":
-        nth = cfg.total_epochs
+        nth = total_epochs
     elif crash_point == "mid-commit":
-        nth = cfg.snapshot_interval + 1
+        nth = snapshot_interval + 1
     else:  # mid-checkpoint: an epoch replayed from the older checkpoint
         nth = 2
     specs.append(FaultSpec(fault_kind, target="log", nth=nth, stream=stream))
@@ -350,7 +365,7 @@ def _verify_exact(scheme: FTScheme, workload, events) -> Tuple[bool, str]:
     return True, ""
 
 
-def _worker_fault_plan(
+def worker_fault_plan(
     kind: str, baseline_mttr: float, num_workers: int
 ) -> Tuple[WorkerFault, ...]:
     """The fault list for one worker-failure cell.
@@ -379,7 +394,7 @@ def _worker_fault_plan(
     raise ConfigError(f"unknown worker fault {kind!r}")
 
 
-def _point_specs(cell: str) -> List[FaultSpec]:
+def recovery_point_specs(cell: str) -> List[FaultSpec]:
     """Crash-point fault specs for one crash-during-recovery cell."""
     if cell == NESTED_CELL:
         # Kill the first recovery attempt after its first epoch replay,
@@ -408,12 +423,18 @@ def _run_one(
     label_fault: Optional[str] = None,
     label_point: Optional[str] = None,
 ) -> ChaosRun:
-    workload = _make_workload(cfg)
+    workload = make_workload()
     events = workload.generate(cfg.num_events, cfg.seed)
     scheme_cls = SCHEMES[scheme_name]
     stream = scheme_cls.log_streams[0] if scheme_cls.log_streams else None
     injector = FaultInjector(
-        _fault_specs(fault_kind, crash_point, stream, cfg)
+        placed_fault_specs(
+            fault_kind,
+            crash_point,
+            stream,
+            snapshot_interval=cfg.snapshot_interval,
+            total_epochs=cfg.total_epochs,
+        )
         + list(point_specs),
         seed=cfg.seed,
     )
@@ -535,7 +556,7 @@ def _run_cluster_cell(
     ``expect_loss`` cell must instead end in a *loud*
     :class:`ClusterDataLossError` (silent wrong state fails the sweep).
     """
-    workload = _make_workload(cfg)
+    workload = make_workload()
     events = workload.generate(cfg.num_events, cfg.seed)
     repl = cfg.cluster_replication if replication is None else replication
     kill_epoch = max(1, cfg.total_epochs // 2)
@@ -646,7 +667,7 @@ def run_chaos(cfg: Optional[ChaosConfig] = None) -> ChaosReport:
                         "none",
                         "boundary",
                         cfg,
-                        recovery_faults=_worker_fault_plan(
+                        recovery_faults=worker_fault_plan(
                             kind, baseline.mttr_seconds, cfg.num_workers
                         ),
                         label_fault=f"worker:{kind}",
@@ -663,7 +684,7 @@ def run_chaos(cfg: Optional[ChaosConfig] = None) -> ChaosReport:
                     "none",
                     "boundary",
                     cfg,
-                    point_specs=_point_specs(point),
+                    point_specs=recovery_point_specs(point),
                     label_point=point,
                 )
             )
@@ -674,7 +695,7 @@ def run_chaos(cfg: Optional[ChaosConfig] = None) -> ChaosReport:
                     "none",
                     "boundary",
                     cfg,
-                    point_specs=_point_specs(NESTED_CELL),
+                    point_specs=recovery_point_specs(NESTED_CELL),
                     label_point=NESTED_CELL,
                 )
             )
@@ -718,6 +739,7 @@ def chaos_payload(report: ChaosReport) -> Dict:
         replayed_plus_wasted += run.events_replayed + run.wasted_events
     mttrs = [run.mttr_seconds for run in report.runs if run.mttr_seconds > 0]
     return {
+        "schema": CHAOS_SCHEMA,
         "config": asdict(report.config),
         "passed": report.passed,
         "outcome_counts": report.outcome_counts(),
@@ -763,3 +785,26 @@ def chaos_payload(report: ChaosReport) -> Dict:
             for run in report.runs
         ],
     }
+
+
+def load_chaos_payload(payload: Dict) -> Dict:
+    """Validate a ``repro chaos --json`` document for downstream tooling.
+
+    Same forward-compatibility stance as the soak trajectory loader in
+    :mod:`repro.harness.slo`: the schema tag must match, the fields the
+    consumer relies on must exist, and *unknown* fields are ignored so
+    newer producers keep working with older consumers.
+    """
+    if not isinstance(payload, dict):
+        raise ConfigError("chaos payload must be a JSON object")
+    schema = payload.get("schema")
+    if schema != CHAOS_SCHEMA:
+        raise ConfigError(
+            f"unsupported chaos schema {schema!r} (expected {CHAOS_SCHEMA})"
+        )
+    for key in ("passed", "cells", "summary"):
+        if key not in payload:
+            raise ConfigError(f"chaos payload missing field {key!r}")
+    if not isinstance(payload["cells"], list):
+        raise ConfigError("chaos payload cells must be a list")
+    return payload

@@ -103,6 +103,36 @@ class WorkerFault:
         if self.kind == "straggle" and self.slowdown < 1.0:
             raise ConfigError("slowdown must be >= 1")
 
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-safe record of this fault (check repro files, reports)."""
+        return {
+            "worker": self.worker,
+            "kind": self.kind,
+            "at_seconds": self.at_seconds,
+            "slowdown": self.slowdown,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "WorkerFault":
+        """Rebuild from :meth:`to_payload` output.
+
+        Tolerates unknown fields (schema-evolution convention shared
+        with the harness JSON formats); missing optional fields take
+        the dataclass defaults, and validation reruns in
+        ``__post_init__``.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigError(f"worker fault payload must be a dict: {payload!r}")
+        try:
+            return cls(
+                worker=int(payload["worker"]),  # type: ignore[call-overload]
+                kind=str(payload["kind"]),
+                at_seconds=float(payload.get("at_seconds", 0.0)),  # type: ignore[arg-type]
+                slowdown=float(payload.get("slowdown", 2.0)),  # type: ignore[arg-type]
+            )
+        except KeyError as exc:
+            raise ConfigError(f"worker fault payload missing field {exc}")
+
 
 class WorkerFaultPlan:
     """The worker faults of one recovery run, validated against a machine.

@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.crashpoints import validate_point
 from repro.errors import ConfigError, InjectedCrash, ReadFaultError
 
 #: Fault kinds applied to writes.
@@ -72,6 +73,10 @@ class FaultSpec:
             raise ConfigError(f"unknown fault target {self.target!r}")
         if self.kind in POINT_KINDS and not self.point:
             raise ConfigError("crash_point fault needs a point name")
+        if self.point is not None:
+            # The central registry is the checked contract: a spec
+            # naming a point no gate will ever fire is a config bug.
+            validate_point(self.point)
         if self.kind not in POINT_KINDS and self.point is not None:
             raise ConfigError(f"{self.kind} fault does not take a point")
         if self.nth is None and self.probability <= 0.0:
@@ -223,7 +228,14 @@ class FaultInjector:
         after persisting a progress watermark).  A matching
         ``crash_point`` fault raises :class:`InjectedCrash` on the spot,
         modelling the recovering process itself dying mid-recovery.
+
+        The point name must be registered in :mod:`repro.crashpoints` —
+        an unregistered gate raises :class:`ConfigError` so a typo'd or
+        forgotten registration cannot silently shrink the explorable
+        fault space.  Passes are counted even while disarmed, so
+        coverage accounting sees every milestone crossed.
         """
+        validate_point(point)
         count = self._point_counts.get(point, 0) + 1
         self._point_counts[point] = count
         if not self._armed:
@@ -240,6 +252,16 @@ class FaultInjector:
             raise InjectedCrash(
                 f"injected crash during recovery at point {point!r}"
             )
+
+    @property
+    def points_passed(self) -> dict:
+        """Crash-point pass counts: ``{point name: times crossed}``.
+
+        The explorer's coverage accounting reads this after every run;
+        a registered point that never appears here across a whole
+        exploration marks a gate that has rotted away.
+        """
+        return dict(self._point_counts)
 
     def maybe_crash(self) -> None:
         """Crash gate: raise :class:`InjectedCrash` if a crash is pending."""

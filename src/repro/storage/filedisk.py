@@ -311,7 +311,17 @@ class FileProgressStore(ProgressStore):
         path = self._root / name
         tmp = self._root / (name + ".tmp")
         tmp.write_bytes(data)
+        # Crash gates bracketing the publish: a registered fault may
+        # kill the process with the temp sibling on disk but the rename
+        # not yet performed ("progress.tmp-written" — reopen must sweep
+        # the debris and still see the previous consistent slot), or
+        # right after the rename ("progress.replaced" — the new slot is
+        # the one a reopen must serve).  Either way, no torn watermark.
+        if self._faults is not None:
+            self._faults.at_point("progress.tmp-written")
         os.replace(tmp, path)
+        if self._faults is not None:
+            self._faults.at_point("progress.replaced")
 
     def save(self, record: Any, charge_bytes: Optional[int] = None) -> float:
         seconds = super().save(record, charge_bytes)

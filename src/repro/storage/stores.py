@@ -462,6 +462,12 @@ class ProgressStore:
         self._faults = faults
         self._slot: Optional[bytes] = None
         self._chain_mark: Optional[bytes] = None
+        #: Observability: ``(crash_epoch, next_epoch)`` of every
+        #: watermark that landed, in save order.  The invariant checker
+        #: asserts the sequence is monotone per crash — resumable
+        #: recovery must never publish a watermark that moves the
+        #: replay cursor backwards (absent slot damage).
+        self.watermark_history: List[Tuple[Any, Any]] = []
 
     def save(self, record: Any, charge_bytes: Optional[int] = None) -> float:
         """Overwrite the watermark slot; returns I/O seconds.
@@ -479,6 +485,10 @@ class ProgressStore:
         if landed is not None:
             self._slot = landed
             self._chain_mark = None
+            if isinstance(record, dict) and "next_epoch" in record:
+                self.watermark_history.append(
+                    (record.get("crash_epoch"), record.get("next_epoch"))
+                )
         return self._device.write(
             len(blob) if charge_bytes is None else charge_bytes
         )

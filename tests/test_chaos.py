@@ -12,10 +12,12 @@ from repro.ft.wal import WriteAheadLog
 from repro.harness.chaos import (
     CRASH_POINTS,
     FAULT_KINDS,
+    CHAOS_SCHEMA,
     NESTED_CELL,
     ChaosConfig,
     _run_one,
     chaos_payload,
+    load_chaos_payload,
     run_chaos,
     smoke_config,
 )
@@ -318,6 +320,20 @@ class TestChaosRecoveryDimensions:
             assert key in cell
         json.dumps(payload)  # exportable as-is
 
+    def test_payload_is_schema_tagged_and_round_trips(self, report):
+        import json
+
+        payload = chaos_payload(report)
+        assert payload["schema"] == CHAOS_SCHEMA
+        loaded = load_chaos_payload(json.loads(json.dumps(payload)))
+        assert loaded["passed"] is payload["passed"]
+
+    def test_loader_tolerates_unknown_fields(self, report):
+        payload = chaos_payload(report)
+        payload["future_section"] = {"anything": [1, 2, 3]}
+        payload["cells"][0]["future_metric"] = 0.5
+        assert load_chaos_payload(payload) is payload
+
     def test_mttr_covers_crashed_attempts(self, report):
         # A cell that needed N attempts spent more virtual time than its
         # final successful pass alone; MTTR must reflect the whole story.
@@ -330,6 +346,35 @@ class TestChaosRecoveryDimensions:
             and r.crash_point == "boundary"
         ]
         assert nested[0].mttr_seconds > single[0].mttr_seconds
+
+
+class TestChaosPayloadLoader:
+    """Schema gate for ``repro chaos --json`` documents (no sweep needed)."""
+
+    MINIMAL = {"schema": CHAOS_SCHEMA, "passed": True, "cells": [], "summary": {}}
+
+    def test_wrong_schema_rejected(self):
+        from repro.errors import ConfigError
+
+        bad = dict(self.MINIMAL, schema="repro.chaos/v999")
+        with pytest.raises(ConfigError, match="unsupported chaos schema"):
+            load_chaos_payload(bad)
+        with pytest.raises(ConfigError):
+            load_chaos_payload({"passed": True})  # tag missing entirely
+
+    def test_missing_required_field_rejected(self):
+        from repro.errors import ConfigError
+
+        for key in ("passed", "cells", "summary"):
+            broken = {k: v for k, v in self.MINIMAL.items() if k != key}
+            with pytest.raises(ConfigError, match=key):
+                load_chaos_payload(broken)
+
+    def test_non_object_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            load_chaos_payload(["not", "a", "dict"])
 
 
 def serial_state(workload, events):

@@ -1,0 +1,404 @@
+"""Systematic fault-schedule explorer: vocabulary, invariants, shrinking.
+
+The checker's own correctness story is the seeded known-bug mutation:
+``REPRO_CHECK_MUTATION=skip-ladder-rung`` re-introduces a silent
+checkpoint-ladder bug, and these tests assert the explorer finds it
+within the default budget, shrinks the counterexample to at most two
+fault atoms, and re-triggers it deterministically from the emitted
+repro file — while the unmutated tree passes the same exploration with
+full crash-point coverage.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.check.explorer import (
+    REPRO_SCHEMA,
+    build_frontier,
+    explore,
+    load_repro_payload,
+    replay_repro,
+    repro_payload,
+)
+from repro.check.invariants import (
+    INVARIANTS,
+    check_observation,
+    get_invariant,
+)
+from repro.check.mutations import MUTATION_ENV, active_mutation
+from repro.check.runner import (
+    OUTCOME_RECOVERED,
+    CheckConfig,
+    RunObservation,
+    run_schedule,
+)
+from repro.check.schedule import (
+    CLUSTER_SCHEME,
+    FaultAtom,
+    Schedule,
+    recovery_point_atoms,
+    schedule_fingerprint,
+    single_scheme_atoms,
+)
+from repro.check.shrink import shrink_schedule
+from repro.cluster import ClusterFault, ClusterFaultPlan, ClusterTopology
+from repro.crashpoints import (
+    DOMAIN_RECOVERY,
+    get_point,
+    registered_points,
+    validate_point,
+)
+from repro.errors import ConfigError
+from repro.sim.executor import WorkerFault
+from repro.storage.faults import FaultSpec
+
+#: Single-scheme config small enough for unit tests.
+FAST = CheckConfig(schemes=("CKPT",), include_cluster=False, max_depth=1)
+
+
+class TestCrashPointRegistry:
+    def test_every_recovery_milestone_is_registered(self):
+        names = {p.name for p in registered_points(domain=DOMAIN_RECOVERY)}
+        assert names == {
+            "recovery.checkpoint-loaded",
+            "recovery.epoch-replayed",
+            "recovery.watermark",
+            "recovery.chain",
+            "recovery.finalize",
+        }
+
+    def test_progress_file_points_live_in_their_own_domain(self):
+        recovery = {p.name for p in registered_points(domain=DOMAIN_RECOVERY)}
+        assert "progress.tmp-written" not in recovery
+        assert get_point("progress.tmp-written").domain == "storage.progress-file"
+
+    def test_scheme_filter_keeps_chain_for_msr_only(self):
+        msr = {p.name for p in registered_points(scheme="MSR")}
+        wal = {p.name for p in registered_points(scheme="WAL")}
+        assert "recovery.chain" in msr
+        assert "recovery.chain" not in wal
+
+    def test_unregistered_point_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="bogus"):
+            validate_point("recovery.bogus")
+        with pytest.raises(ConfigError):
+            FaultSpec("crash_point", target="any", point="recovery.bogus")
+
+
+class TestScheduleVocabulary:
+    def test_atoms_are_canonically_ordered(self):
+        a = FaultAtom("storage", "torn")
+        b = FaultAtom("crash", "mid-commit")
+        assert Schedule("CKPT", (a, b)).atoms == Schedule("CKPT", (b, a)).atoms
+
+    def test_duplicate_atoms_rejected(self):
+        atom = FaultAtom("storage", "torn")
+        with pytest.raises(ConfigError, match="duplicate"):
+            Schedule("CKPT", (atom, atom))
+
+    def test_family_caps(self):
+        with pytest.raises(ConfigError, match="at most 1 storage"):
+            Schedule(
+                "CKPT",
+                (FaultAtom("storage", "torn"), FaultAtom("storage", "drop")),
+            )
+
+    def test_kill_atoms_are_cluster_only(self):
+        with pytest.raises(ConfigError, match="CLUSTER"):
+            Schedule("MSR", (FaultAtom("kill", "rack:0"),))
+        with pytest.raises(ConfigError, match="only kill atoms"):
+            Schedule(CLUSTER_SCHEME, (FaultAtom("storage", "torn"),))
+
+    def test_rpoint_atoms_come_from_the_registry(self):
+        with pytest.raises(ConfigError):
+            FaultAtom("rpoint", "recovery.not-a-point")
+        labels = {a.label for a in recovery_point_atoms("WAL")}
+        assert "rpoint:recovery.finalize" in labels
+        assert "rpoint:recovery.chain" not in labels
+
+    def test_payload_round_trip(self):
+        sched = Schedule(
+            "MSR",
+            (
+                FaultAtom("crash", "mid-commit"),
+                FaultAtom("rpoint", "recovery.epoch-replayed", 2),
+            ),
+        )
+        assert Schedule.from_payload(sched.to_payload()) == sched
+
+    def test_fingerprint_is_stable_and_scenario_sensitive(self):
+        sched = Schedule("CKPT", (FaultAtom("storage", "torn"),))
+        fp1 = schedule_fingerprint(sched, {"seed": 7})
+        assert fp1 == schedule_fingerprint(sched, {"seed": 7})
+        assert fp1 != schedule_fingerprint(sched, {"seed": 8})
+
+
+class TestRunner:
+    def test_baseline_recovers_and_fires_all_scheme_points(self):
+        obs = run_schedule(Schedule("MSR", ()), CheckConfig())
+        assert obs.outcome == OUTCOME_RECOVERED
+        assert obs.state_exact and obs.outputs_exact
+        assert not check_observation(obs)
+        for point in registered_points(domain=DOMAIN_RECOVERY, scheme="MSR"):
+            assert obs.points_passed.get(point.name, 0) > 0
+
+    def test_torn_checkpoint_walks_the_ladder(self):
+        obs = run_schedule(
+            Schedule("CKPT", (FaultAtom("storage", "torn"),)), FAST
+        )
+        assert obs.outcome == OUTCOME_RECOVERED
+        assert obs.checkpoint_fallbacks == 1
+        assert obs.checkpoint_epoch == obs.snapshot_candidates[1]
+        assert not check_observation(obs)
+
+    def test_degraded_probe_matches_ground_truth(self):
+        obs = run_schedule(Schedule("CKPT", ()), FAST)
+        probe = obs.degraded_probe
+        assert probe is not None and "error" not in probe
+        assert probe["value"] == probe["expected"]
+        assert probe["staleness_epochs"] == (
+            probe["crash_epoch"] - probe["checkpoint_epoch"]
+        )
+
+    def test_watermarks_recorded_and_monotonic(self):
+        obs = run_schedule(
+            Schedule(
+                "MSR", (FaultAtom("rpoint", "recovery.epoch-replayed"),)
+            ),
+            CheckConfig(schemes=("MSR",), include_cluster=False),
+        )
+        assert obs.outcome == OUTCOME_RECOVERED
+        assert obs.attempts > 1 or obs.resumed
+        assert obs.watermarks, "progress watermarks were never persisted"
+        assert not check_observation(obs)
+
+    def test_cluster_kill_within_replication_recovers(self):
+        obs = run_schedule(
+            Schedule(CLUSTER_SCHEME, (FaultAtom("kill", "node:0.0"),)),
+            CheckConfig(),
+        )
+        assert obs.outcome == OUTCOME_RECOVERED
+        assert obs.cluster_exact is True
+        assert obs.correlation_width == 1
+        assert not check_observation(obs)
+
+
+class TestInvariantRegistry:
+    def test_unknown_invariant_name_rejected(self):
+        with pytest.raises(ConfigError, match="unknown invariant"):
+            get_invariant("no-such-contract")
+
+    def test_ladder_monotonic_catches_a_skipped_rung(self):
+        obs = RunObservation(
+            schedule=Schedule("CKPT", ()),
+            outcome=OUTCOME_RECOVERED,
+            state_exact=True,
+            outputs_exact=True,
+            snapshot_candidates=[3, -1],
+            checkpoint_epoch=3,
+            checkpoint_fallbacks=1,
+        )
+        names = [v.invariant for v in check_observation(obs)]
+        assert "ladder-monotonic" in names
+
+    def test_watermark_regression_is_a_violation(self):
+        obs = RunObservation(
+            schedule=Schedule("MSR", ()),
+            outcome=OUTCOME_RECOVERED,
+            state_exact=True,
+            outputs_exact=True,
+            watermarks=[(5, 2), (5, 4), (5, 3)],
+        )
+        names = [v.invariant for v in check_observation(obs)]
+        assert "watermark-monotonic" in names
+
+    def test_data_loss_within_replication_budget_is_a_violation(self):
+        obs = RunObservation(
+            schedule=Schedule(CLUSTER_SCHEME, (FaultAtom("kill", "shard:0"),)),
+            outcome="failed-loud",
+            data_loss=True,
+            correlation_width=0,
+            replication=1,
+        )
+        names = [v.invariant for v in check_observation(obs)]
+        assert "no-silent-data-loss" in names
+
+    def test_data_loss_beyond_replication_is_documented(self):
+        obs = RunObservation(
+            schedule=Schedule(
+                CLUSTER_SCHEME,
+                (FaultAtom("kill", "node:0.0"), FaultAtom("kill", "node:1.0")),
+            ),
+            outcome="failed-loud",
+            data_loss=True,
+            correlation_width=2,
+            replication=1,
+        )
+        assert not check_observation(obs)
+
+    def test_installed_state_after_loud_failure_is_a_violation(self):
+        obs = RunObservation(
+            schedule=Schedule("CKPT", ()),
+            outcome="failed-loud",
+            installed_after_failure=True,
+        )
+        names = [v.invariant for v in check_observation(obs)]
+        assert "no-undocumented-failure" in names
+
+
+class TestCorrelationWidth:
+    TOPOLOGY = ClusterTopology(4, 2, 2)
+
+    def width(self, *kills):
+        plan = ClusterFaultPlan(
+            kills=[ClusterFault(k, after_epoch=1) for k in kills]
+        )
+        return plan.correlation_width(self.TOPOLOGY)
+
+    def test_shard_kill_destroys_no_node(self):
+        assert self.width("shard:0") == 0
+
+    def test_node_kills_count_distinct_nodes(self):
+        assert self.width("node:0.0") == 1
+        assert self.width("node:0.0", "node:1.0") == 2
+        assert self.width("node:0.0", "node:0.0") == 1
+
+    def test_rack_kill_counts_its_nodes(self):
+        assert self.width("rack:0") == 2
+
+
+class TestWorkerFaultPayload:
+    def test_round_trip(self):
+        fault = WorkerFault(1, "straggle", at_seconds=0.5, slowdown=3.0)
+        assert WorkerFault.from_payload(fault.to_payload()) == fault
+
+    def test_unknown_fields_tolerated(self):
+        payload = WorkerFault(0, "die").to_payload()
+        payload["future_field"] = "ignored"
+        assert WorkerFault.from_payload(payload) == WorkerFault(0, "die")
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ConfigError):
+            WorkerFault.from_payload({"worker": 0})
+
+
+class TestExplorer:
+    def test_clean_exploration_passes_with_full_coverage(self):
+        cfg = CheckConfig(
+            schemes=("CKPT",), include_cluster=False, max_depth=1, budget=18
+        )
+        report = explore(cfg)
+        assert report.passed
+        assert not report.counterexamples
+        assert report.coverage_ok
+        assert report.budget_spent <= cfg.budget
+
+    def test_frontier_is_deterministic_per_seed(self):
+        cfg = CheckConfig()
+        labels = [s.label for s in build_frontier(cfg)]
+        assert labels == [s.label for s in build_frontier(cfg)]
+        other = [s.label for s in build_frontier(CheckConfig(seed=11))]
+        assert set(labels) == set(other)
+        assert labels != other
+
+    def test_budget_caps_runs(self):
+        cfg = CheckConfig(
+            schemes=("CKPT",), include_cluster=False, max_depth=2, budget=5
+        )
+        report = explore(cfg)
+        assert report.budget_spent == 5
+        assert report.frontier_unexplored > 0
+
+
+class TestKnownBugMutation:
+    """The checker validation: a seeded silent bug must be caught."""
+
+    @pytest.fixture
+    def mutated(self, monkeypatch):
+        monkeypatch.setenv(MUTATION_ENV, "skip-ladder-rung")
+        assert active_mutation() == "skip-ladder-rung"
+
+    def test_unknown_mutation_name_rejected(self, monkeypatch):
+        monkeypatch.setenv(MUTATION_ENV, "typo-mutation")
+        with pytest.raises(ConfigError, match="typo-mutation"):
+            active_mutation()
+
+    def test_explorer_finds_and_shrinks_the_bug(self, mutated):
+        report = explore(
+            CheckConfig(schemes=("CKPT",), include_cluster=False, max_depth=1)
+        )
+        assert not report.passed
+        assert report.counterexamples
+        assert all(
+            len(ce.minimal.atoms) <= 2 for ce in report.counterexamples
+        )
+
+    def test_repro_file_replays_deterministically(
+        self, mutated, monkeypatch
+    ):
+        cfg = CheckConfig(
+            schemes=("CKPT",), include_cluster=False, max_depth=1, budget=12
+        )
+        report = explore(cfg)
+        payload = repro_payload(report.counterexamples[0], cfg)
+        blob = json.dumps(payload)  # survives a round trip through disk
+        result = replay_repro(json.loads(blob))
+        assert result["reproduced"]
+        assert result["fingerprint"] == report.counterexamples[0].fingerprint
+        # The same repro on the unmutated tree must come back clean.
+        monkeypatch.delenv(MUTATION_ENV)
+        assert not replay_repro(json.loads(blob))["reproduced"]
+
+    def test_shrink_drops_the_irrelevant_atom(self, mutated):
+        sched = Schedule(
+            "CKPT",
+            (FaultAtom("storage", "torn"), FaultAtom("crash", "mid-commit")),
+        )
+        obs = run_schedule(sched, FAST)
+        violated = check_observation(obs)
+        assert violated
+        minimal, min_obs, runs = shrink_schedule(
+            sched, FAST, violated[0].invariant
+        )
+        assert len(minimal.atoms) == 1
+        assert runs >= 2
+
+
+class TestReproPayload:
+    def _payload(self):
+        sched = Schedule("CKPT", (FaultAtom("storage", "torn"),))
+        return {
+            "schema": REPRO_SCHEMA,
+            "invariant": "recovered-state-exact",
+            "schedule": sched.to_payload(),
+            "scenario": {"seed": 7},
+        }
+
+    def test_unknown_fields_tolerated(self):
+        payload = self._payload()
+        payload["future_field"] = {"anything": True}
+        payload["scenario"]["future_knob"] = 3
+        loaded = load_repro_payload(payload)
+        assert loaded["invariant"] == "recovered-state-exact"
+
+    def test_wrong_schema_rejected(self):
+        payload = self._payload()
+        payload["schema"] = "repro.check/v999"
+        with pytest.raises(ConfigError, match="unsupported repro schema"):
+            load_repro_payload(payload)
+
+    def test_unknown_invariant_rejected(self):
+        payload = self._payload()
+        payload["invariant"] = "not-a-contract"
+        with pytest.raises(ConfigError):
+            load_repro_payload(payload)
+
+
+class TestInvariantRegistryShape:
+    def test_every_invariant_has_a_unique_name_and_description(self):
+        names = [inv.name for inv in INVARIANTS]
+        assert len(names) == len(set(names))
+        assert all(inv.description for inv in INVARIANTS)
