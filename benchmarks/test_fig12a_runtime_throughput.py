@@ -1,6 +1,6 @@
 """Fig. 12a — runtime throughput of different systems.
 
-All six schemes on SL/GS/TP.  Shapes to hold: CKPT incurs the least
+All schemes on SL/GS/TP.  Shapes to hold: CKPT incurs the least
 fault-tolerance overhead; MSR stays within ~15% of native and clearly
 above the log-based schemes (WAL/DL/LV).
 """

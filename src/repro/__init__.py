@@ -29,10 +29,12 @@ from repro.ft import (
     FTScheme,
     GlobalCheckpoint,
     LSNVector,
+    LSNVectorCompressed,
     Native,
     OutputSink,
     RecoveryReport,
     RuntimeReport,
+    WALPacman,
     WriteAheadLog,
 )
 from repro.sim import CostModel, Machine
@@ -53,8 +55,10 @@ SCHEMES = {
     "NAT": Native,
     "CKPT": GlobalCheckpoint,
     "WAL": WriteAheadLog,
+    "PACMAN": WALPacman,
     "DL": DependencyLogging,
     "LV": LSNVector,
+    "LVC": LSNVectorCompressed,
     "MSR": MorphStreamR,
 }
 
@@ -67,8 +71,10 @@ __all__ = [
     "Native",
     "GlobalCheckpoint",
     "WriteAheadLog",
+    "WALPacman",
     "DependencyLogging",
     "LSNVector",
+    "LSNVectorCompressed",
     "FTScheme",
     "OutputSink",
     "RuntimeReport",

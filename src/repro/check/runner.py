@@ -63,7 +63,7 @@ OUTCOME_UNEXPECTED = "unexpected-error"
 class CheckConfig:
     """One exploration: vocabulary scope, scenario knobs, run budget."""
 
-    schemes: Tuple[str, ...] = ("MSR", "WAL", "CKPT")
+    schemes: Tuple[str, ...] = ("MSR", "WAL", "PACMAN", "LVC", "CKPT")
     include_cluster: bool = True
     #: largest number of fault atoms combined in one schedule.
     max_depth: int = 2

@@ -10,6 +10,7 @@ Subcommands::
     repro cluster --shards 8 --placement checkpoint_spread --kill rack:0
     repro soak [--smoke] [--mode single|cluster|both] [--bench BENCH_soak.json]
     repro check [--budget N] [--max-depth D] [--replay repro.json]
+    repro figgate [--bench BENCH_fig11.json] [--update]
 
 ``repro run`` executes one runtime → crash → recovery experiment with
 full verification and prints both reports; ``repro figure`` regenerates
@@ -118,6 +119,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workload", choices=sorted(figures.WORKLOADS), default="SL"
     )
     run.add_argument("--scheme", choices=sorted(SCHEMES), default="MSR")
+    run.add_argument(
+        "--hybrid",
+        action="store_true",
+        help="PACMAN only: split static batches at chain granularity "
+        "and schedule like MSR (pays sync on cut dependencies)",
+    )
     run.add_argument("--workers", type=int, default=8)
     run.add_argument("--epoch-len", type=int, default=256)
     run.add_argument("--snapshot-interval", type=int, default=5)
@@ -141,6 +148,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--scheme",
         choices=sorted(s for s in SCHEMES if s != "NAT"),
         default="MSR",
+    )
+    recover.add_argument(
+        "--hybrid",
+        action="store_true",
+        help="PACMAN only: chain-granularity hybrid scheduling",
     )
     recover.add_argument("--workers", type=int, default=4)
     recover.add_argument("--epoch-len", type=int, default=256)
@@ -210,7 +222,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--smoke",
         action="store_true",
-        help="reduced sweep (3 schemes × 2 faults × 2 crash points) for CI",
+        help="reduced sweep (5 schemes × 2 faults × 2 crash points) for CI",
     )
     chaos.add_argument("--seed", type=int, default=7)
     chaos.add_argument(
@@ -427,7 +439,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="CSV",
         help="comma-separated scheme subset (e.g. MSR,CKPT); default "
-        "MSR,WAL,CKPT",
+        "MSR,WAL,PACMAN,LVC,CKPT",
     )
     check.add_argument(
         "--no-cluster",
@@ -468,6 +480,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "when the violation still reproduces",
     )
 
+    figgate = sub.add_parser(
+        "figgate",
+        help="Fig. 11 regression gate: verify MSR's recovery speedup "
+        "over the strong baselines against the committed BENCH_fig11.json",
+    )
+    figgate.add_argument(
+        "--bench",
+        type=Path,
+        default=Path("BENCH_fig11.json"),
+        metavar="PATH",
+        help="committed baseline to gate against (default BENCH_fig11.json)",
+    )
+    figgate.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline file from the current measurement "
+        "instead of gating",
+    )
+
     cal = sub.add_parser(
         "calibrate",
         help="verify every qualitative paper claim against the current "
@@ -501,8 +532,11 @@ def _cmd_list() -> int:
                 ["NAT", "native MorphStream, no fault tolerance"],
                 ["CKPT", "global checkpointing + input replay"],
                 ["WAL", "command logging, sequential redo"],
+                ["PACMAN", "command logging, parallel redo via static "
+                 "key-access analysis (--hybrid: MSR chain scheduling)"],
                 ["DL", "DistDGCC dependency-graph logging"],
-                ["LV", "Taurus LSN-vector logging"],
+                ["LV", "Taurus LSN-vector logging (dense vectors)"],
+                ["LVC", "Taurus compressed vectors: sparse (stream, pos)"],
                 ["MSR", "MorphStreamR: intermediate-result views"],
             ],
         ),
@@ -517,7 +551,20 @@ def _cmd_list() -> int:
     return 0
 
 
+def _hybrid_kwargs(args: argparse.Namespace) -> Optional[Dict]:
+    """scheme_kwargs for --hybrid, or None if the flag is misused."""
+    if not getattr(args, "hybrid", False):
+        return {}
+    if args.scheme != "PACMAN":
+        print("--hybrid only applies to --scheme PACMAN")
+        return None
+    return {"hybrid": True}
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    hybrid = _hybrid_kwargs(args)
+    if hybrid is None:
+        return EXIT_USAGE
     factory = figures.WORKLOADS[args.workload]()
     config = ExperimentConfig(
         workload_factory=factory,
@@ -527,6 +574,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         snapshot_interval=args.snapshot_interval,
         recover_epochs=args.recover_epochs,
         seed=args.seed,
+        scheme_kwargs=hybrid,
     )
     result = run_experiment(config)
     runtime = result.runtime
@@ -573,6 +621,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_recover(args: argparse.Namespace) -> int:
     from repro.errors import BackendError
 
+    hybrid = _hybrid_kwargs(args)
+    if hybrid is None:
+        return EXIT_USAGE
     if args.workers < 1:
         print(
             f"backend error: worker count must be >= 1 (got {args.workers})"
@@ -635,6 +686,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             "backend": args.backend,
             "real_time_scale": args.time_scale,
             "real_start_method": args.start_method,
+            **hybrid,
         },
     )
     try:
@@ -1483,6 +1535,38 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return EXIT_OK
 
 
+def _cmd_figgate(args: argparse.Namespace) -> int:
+    from repro.harness.export import write_json
+    from repro.harness.figgate import (
+        compare_gate,
+        compute_gate,
+        describe_gate,
+        load_baseline,
+    )
+
+    print("measuring Fig. 11 gate (MSR vs strong baselines) ...")
+    payload = compute_gate()
+    print(describe_gate(payload))
+    if args.update:
+        write_json(args.bench, payload)
+        print(f"baseline rewritten: {args.bench}")
+        return EXIT_OK
+    if not args.bench.exists():
+        print(
+            f"no baseline at {args.bench}; create one with "
+            "`repro figgate --update`"
+        )
+        return EXIT_USAGE
+    problems = compare_gate(payload, load_baseline(args.bench))
+    if problems:
+        print("\nFIG11 GATE FAILED:")
+        for line in problems:
+            print(f"  - {line}")
+        return EXIT_FAILURE
+    print(f"\nfig11 gate OK against {args.bench}")
+    return EXIT_OK
+
+
 def _cmd_calibrate(args: argparse.Namespace) -> int:
     scale = figures.QUICK_SCALE if args.quick else figures.DEFAULT_SCALE
     print("running the qualitative-claim battery ...")
@@ -1524,6 +1608,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_soak(args)
         if args.command == "check":
             return _cmd_check(args)
+        if args.command == "figgate":
+            return _cmd_figgate(args)
         if args.command == "calibrate":
             return _cmd_calibrate(args)
     except BackendError as exc:

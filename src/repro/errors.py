@@ -54,6 +54,25 @@ class MissingSegmentError(StorageError):
     """A durable segment that should exist is absent (dropped flush)."""
 
 
+class VectorMismatchError(CorruptSegmentError):
+    """A logged LSN vector disagrees with the recomputed partial order.
+
+    Raised by LV/LVC recovery when a record's logged vector does not
+    match the vector recomputed from the rebuilt committed-only TPG —
+    the record decoded cleanly (its CRC passed) but its dependency
+    payload is stale or corrupted, so replaying under it could violate
+    the commit-order partial order.  Subclassing
+    :class:`CorruptSegmentError` keeps it inside the degradable set: the
+    fallback ladder quarantines the vector log and replays the epoch
+    from the persisted event store (rung 2) instead of trusting it.
+    """
+
+    def __init__(self, message: str, epoch_id: int = -1, record_index: int = -1):
+        super().__init__(message)
+        self.epoch_id = epoch_id
+        self.record_index = record_index
+
+
 class ReadFaultError(StorageError):
     """The device returned an I/O error for a read (injected EIO)."""
 

@@ -13,6 +13,14 @@ Implements the five comparison points of §VIII-A:
 - :class:`~repro.ft.lsnvector.LSNVector` (LV) — Taurus-style LSN-vector
   logging.
 
+Two stronger baselines extend the comparison beyond the paper's
+strawmen (ROADMAP item 3):
+
+- :class:`~repro.ft.pacman.WALPacman` (PACMAN) — parallel command-log
+  redo via static key-access analysis (Wu et al.);
+- :class:`~repro.ft.lsnvector.LSNVectorCompressed` (LVC) — Taurus
+  compressed vectors logging sparse (stream, pos) pairs.
+
 MorphStreamR itself lives in :mod:`repro.core` and shares the same
 :class:`~repro.ft.base.FTScheme` contract.
 """
@@ -27,8 +35,9 @@ from repro.ft.base import (
 )
 from repro.ft.checkpoint import GlobalCheckpoint
 from repro.ft.dlog import DependencyLogging
-from repro.ft.lsnvector import LSNVector
+from repro.ft.lsnvector import LSNVector, LSNVectorCompressed
 from repro.ft.native import Native
+from repro.ft.pacman import WALPacman
 from repro.ft.wal import WriteAheadLog
 
 __all__ = [
@@ -41,6 +50,8 @@ __all__ = [
     "Native",
     "GlobalCheckpoint",
     "WriteAheadLog",
+    "WALPacman",
     "DependencyLogging",
     "LSNVector",
+    "LSNVectorCompressed",
 ]

@@ -9,10 +9,20 @@ transaction, the "significant computation overhead at runtime" of
 
 Recovery: transactions replay on their original stream's worker; before
 a transaction executes it checks the global recovery-LSN vector against
-its logged vector (per-entry Explore cost), which preserves the partial
-order among dependent transactions.  Parallelism is again bounded by
-the workload's inherent dependencies, and the frequent vector checks
-show up as LV's large Explore time on dependency-heavy workloads (SL).
+its *logged* vector (per-entry Explore cost), which preserves the
+partial order among dependent transactions.  The logged vectors are
+first verified against the partial order recomputed from the rebuilt
+committed-only TPG — a mismatch means the vector payload is stale or
+corrupted, and recovery degrades to event replay (rung 2) rather than
+trusting it.  Parallelism is again bounded by the workload's inherent
+dependencies, and the frequent vector checks show up as LV's large
+Explore time on dependency-heavy workloads (SL).
+
+:class:`LSNVectorCompressed` (LVC) is the compressed-vector variant of
+the Taurus paper: instead of a dense ``num_workers``-wide vector it
+logs only the sparse ``(stream, position)`` pairs of streams that
+actually hold a dependency, so runtime vector maintenance is paid per
+*set* entry rather than per stream.
 """
 
 from __future__ import annotations
@@ -24,6 +34,8 @@ from repro.engine.events import Event
 from repro.engine.execution import execute_tpg
 from repro.engine.state import StateStore
 from repro.engine.tpg import build_tpg
+from repro.engine.transactions import Transaction
+from repro.errors import VectorMismatchError
 from repro.ft.base import EpochContext, FTScheme
 from repro.ft.common import build_txn_tasks, txn_level_deps
 from repro.sim.clock import Machine
@@ -46,6 +58,44 @@ class LSNVector(FTScheme):
         its validator's partition (each worker logs what it executes)."""
         return self.worker_of_txn(txn)
 
+    # --- vector representation (LVC overrides) --------------------------
+
+    def _encode_vector(self, vector: Sequence[int]) -> tuple:
+        """Wire form of one vector: dense, one entry per stream."""
+        return tuple(vector)
+
+    def _decode_vector(self, encoded: Sequence) -> Tuple[int, ...]:
+        """Dense vector back from its wire form."""
+        return tuple(encoded)
+
+    def _vector_track_cost(self, vector: Sequence[int], dep_count: int) -> float:
+        """Runtime cost of logging one record and maintaining its vector.
+
+        The dense representation pays per-entry maintenance on every
+        stream, set or not — Taurus's runtime overhead at §III-B.
+        """
+        return (
+            self.costs.log_record_append
+            + self.costs.lsn_vector_entry * self.num_workers
+            + self.costs.track_dependency * dep_count
+        )
+
+    def _vector_verify_cost(self, vector: Sequence[int]) -> float:
+        """Recovery cost of checking one logged vector against the one
+        recomputed from the rebuilt TPG.
+
+        This is a *local* compare of two warm vectors during the log
+        scan — unlike replay's vector checks there is no synchronized
+        access to the contended global recovery vector, so the per-entry
+        unit is a fraction of ``lsn_vector_entry``, and only set entries
+        matter (equal set-entry lists plus equal counts imply the dense
+        forms match).
+        """
+        entries = sum(1 for pos in vector if pos >= 0)
+        return 0.25 * self.costs.lsn_vector_entry * (1 + entries)
+
+    # --- vector computation ----------------------------------------------
+
     def _vectors_for(
         self, txns, deps: Dict[int, Tuple[int, ...]], aborted
     ) -> Dict[int, List[int]]:
@@ -54,6 +104,16 @@ class LSNVector(FTScheme):
         Stream positions are assigned in timestamp order per stream;
         entry ``i`` of a vector is the largest position among the
         transaction's dependencies living in stream ``i`` (-1 if none).
+
+        Epoch-local contract: transaction ids restart at zero every
+        epoch (``preprocess`` renumbers), so a dependency source is
+        always a *same-epoch* transaction — never one from an earlier
+        epoch.  ``deps`` must therefore come from a committed-only TPG
+        (:meth:`_committed_deps`): every source is then a committed
+        transaction that already holds a log position.  A source without
+        a position is a dependency that would be silently encoded as -1
+        ("no dependency") — historically this swallowed dependencies
+        routed through aborted transactions — so it fails loudly here.
         """
         position: Dict[int, int] = {}
         stream_of: Dict[int, int] = {}
@@ -68,26 +128,53 @@ class LSNVector(FTScheme):
             next_pos[stream] += 1
             vector = [-1] * self.num_workers
             for src in deps[txn.txn_id]:
-                if src in position:
-                    src_stream = stream_of[src]
-                    vector[src_stream] = max(vector[src_stream], position[src])
+                if src not in position:
+                    raise AssertionError(
+                        f"txn {txn.txn_id} depends on txn {src} which "
+                        "holds no log position: dependencies must be "
+                        "computed over the committed-only TPG (a source "
+                        "that is aborted or later-timestamp would be "
+                        "silently encoded as 'no dependency')"
+                    )
+                src_stream = stream_of[src]
+                vector[src_stream] = max(vector[src_stream], position[src])
             vectors[txn.txn_id] = vector
         return vectors
 
+    def _committed_deps(
+        self, txns: Sequence[Transaction], tpg, aborted
+    ) -> Dict[int, Tuple[int, ...]]:
+        """Transaction-level dependencies over the committed-only TPG.
+
+        The full-batch TPG routes edges *through* aborted transactions:
+        a committed transaction reading a record last written by an
+        aborted one depends, in the full graph, on the aborted writer —
+        which logs nothing and holds no position.  Since aborted
+        operations are pass-throughs (they surface their TD-chain
+        predecessor's value), the true ordering constraint is on the
+        nearest *committed* writer, which is exactly the edge the TPG
+        rebuilt from committed transactions alone produces.  This also
+        makes runtime vectors bit-identical to the vectors recovery
+        recomputes from its committed-only rebuild.
+        """
+        if not aborted:
+            return txn_level_deps(tpg)
+        committed = [t for t in txns if t.txn_id not in aborted]
+        return txn_level_deps(build_tpg(committed))
+
     def _on_epoch(self, ctx: EpochContext) -> None:
-        deps = txn_level_deps(ctx.tpg)
         aborted = ctx.outcome.aborted
+        deps = self._committed_deps(ctx.txns, ctx.tpg, aborted)
         vectors = self._vectors_for(ctx.txns, deps, aborted)
         records = []
         tracked = []
         for txn in ctx.txns:
             if txn.txn_id in aborted:
                 continue
-            records.append((txn.event.encoded(), tuple(vectors[txn.txn_id])))
+            vector = vectors[txn.txn_id]
+            records.append((txn.event.encoded(), self._encode_vector(vector)))
             tracked.append(
-                self.costs.log_record_append
-                + self.costs.lsn_vector_entry * self.num_workers
-                + self.costs.track_dependency * len(deps[txn.txn_id])
+                self._vector_track_cost(vector, len(deps[txn.txn_id]))
             )
         self._charge_tracking(tracked)
         record_bytes = len(encode(records))
@@ -108,12 +195,36 @@ class LSNVector(FTScheme):
         raw, io_s = self.disk.logs.read_epoch(STREAM, epoch_id)
         machine.spend_all(buckets.RELOAD, io_s)
         commands = [Event.from_encoded(cmd) for cmd, _vec in raw]
+        logged = [self._decode_vector(vec) for _cmd, vec in raw]
 
         txns = self.committed_transactions(commands, aborted=())
         machine.spend_parallel(
             buckets.EXECUTE, (costs.preprocess_event for _ in commands)
         )
         tpg = build_tpg(txns)
+
+        # Fidelity check before any state mutation: the logged vectors
+        # must agree, entry for entry, with the partial order recomputed
+        # from the rebuilt committed-only TPG.  Records are logged in
+        # commit (timestamp) order, and positions are renumbering-
+        # invariant, so the comparison is positional.  A mismatch means
+        # the vector payload is stale or corrupted even though its CRC
+        # passed; raising here (a degradable error) quarantines the LV
+        # stream and replays the epoch from the event store instead.
+        recomputed = self._vectors_for(txns, txn_level_deps(tpg), aborted=())
+        machine.spend_parallel(
+            buckets.EXPLORE, (self._vector_verify_cost(v) for v in logged)
+        )
+        for index, (txn, logged_vec) in enumerate(zip(txns, logged)):
+            if tuple(logged_vec) != tuple(recomputed[txn.txn_id]):
+                raise VectorMismatchError(
+                    f"epoch {epoch_id} record {index}: logged LSN vector "
+                    f"{tuple(logged_vec)} disagrees with recomputed "
+                    f"partial order {tuple(recomputed[txn.txn_id])}",
+                    epoch_id=epoch_id,
+                    record_index=index,
+                )
+
         recorder = self._real_recorder
         if recorder is not None:
             from repro.real.plan import capture_base
@@ -123,16 +234,22 @@ class LSNVector(FTScheme):
         if recorder is not None:
             recorder.record_tpg(tpg, outcome, base_token, self._real_num_groups())
 
-        def vector_check(_txn_id, txn_deps):
-            # A transaction with no dependencies passes the global
-            # recovery-LSN-vector check immediately — Taurus is
+        logged_by_txn = {
+            txn.txn_id: vec for txn, vec in zip(txns, logged)
+        }
+
+        def vector_check(txn_id, txn_deps):
+            # A transaction whose logged vector is empty passes the
+            # global recovery-LSN-vector check immediately — Taurus is
             # genuinely lightweight there (this is why LV leads the
-            # uniform write-only sweep of Fig. 14b).  Each dependency
+            # uniform write-only sweep of Fig. 14b).  Each *set* entry
             # adds repeated polls of the contended global vector until
-            # the partial order is satisfied.
-            if not txn_deps:
+            # that stream's recovery LSN reaches the logged position;
+            # dependencies on the same stream collapse into one entry.
+            entries = sum(1 for p in logged_by_txn[txn_id] if p >= 0)
+            if not entries:
                 return (("explore", 0.5 * costs.lsn_vector_entry),)
-            polls = 2 + 8 * len(txn_deps)
+            polls = 2 + 8 * entries
             return (("explore", costs.lsn_vector_entry * polls),)
 
         home = {txn.txn_id: self._stream_of(txn) for txn in txns}
@@ -149,3 +266,39 @@ class LSNVector(FTScheme):
             buckets.EXECUTE, (costs.postprocess_event for _ in txns)
         )
         return self._make_outputs(txns, outcome)
+
+
+class LSNVectorCompressed(LSNVector):
+    """Taurus compressed vectors: sparse (stream, position) pairs.
+
+    The dense scheme pays ``lsn_vector_entry`` maintenance on all
+    ``num_workers`` entries of every committed transaction's vector —
+    most of which are -1 on real workloads.  Taurus §6 compresses the
+    vector to only its set entries; we log sorted ``(stream, pos)``
+    pairs and re-derive the runtime tracking cost as one base update
+    plus one per set entry.  Recovery decodes back to the dense form,
+    so verification and replay share the LV path, but per-record
+    verify/check work also scales with set entries rather than stream
+    count.
+    """
+
+    name = "LVC"
+
+    def _encode_vector(self, vector: Sequence[int]) -> tuple:
+        return tuple(
+            (stream, pos) for stream, pos in enumerate(vector) if pos >= 0
+        )
+
+    def _decode_vector(self, encoded: Sequence) -> Tuple[int, ...]:
+        vector = [-1] * self.num_workers
+        for stream, pos in encoded:
+            vector[stream] = pos
+        return tuple(vector)
+
+    def _vector_track_cost(self, vector: Sequence[int], dep_count: int) -> float:
+        entries = sum(1 for pos in vector if pos >= 0)
+        return (
+            self.costs.log_record_append
+            + self.costs.lsn_vector_entry * (1 + entries)
+            + self.costs.track_dependency * dep_count
+        )

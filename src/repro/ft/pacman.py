@@ -1,0 +1,267 @@
+"""PACMAN-style parallel command-log redo (Wu et al., VLDB'17).
+
+"Fast Failure Recovery for Main-Memory DBMSs on Multicores" showed that
+a command log does not force sequential redo: a *static* analysis over
+the sorted log — which records does each transaction touch? — partitions
+it into batches that share no records, and batches replay on all cores
+with no synchronization at all.  Transactions inside a batch replay in
+timestamp order; transactions in different batches commute.
+
+``WALPacman`` keeps WAL's runtime path byte-for-byte (same command
+records, same "wal" stream, same group commit), so Fig. 12's runtime
+overheads are identical — only recovery changes:
+
+1. read + globally sort the command log (same merge-sort charge as WAL);
+2. one linear pass of union-find over each transaction's record
+   accesses (reads, writes, condition refs) — the static key-access
+   analysis, charged to Construct;
+3. connected components become batches; batches are LPT-packed onto
+   workers and replayed in parallel, each batch strictly sequential
+   internally.
+
+Because every TPG edge (TD/PD/LD) implies a shared record, dependent
+transactions always land in the same batch — the replay needs no
+runtime dependency checks, which is PACMAN's core trade: analysis cost
+up front for zero Explore cost during redo.  The weakness survives too:
+under skew the components collapse into one giant batch and redo is
+sequential again (the regime where MSR's restructuring wins).
+
+The optional *hybrid* mode seeds MSR's chain-partition scheduling with
+the same static analysis: instead of whole components as units, the
+chain-affinity graph is greedily partitioned at record granularity
+(components stay co-located since they share no cross edges, but a
+giant component can now be split), and replay pays normal cross-worker
+synchronization on the cut dependencies — PACMAN's analysis with MSR's
+load balance.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+from repro import buckets
+from repro.core.assignment import lpt_assign
+from repro.core.partition import build_chain_graph, greedy_partition
+from repro.engine.events import Event
+from repro.engine.execution import execute_tpg, op_cost
+from repro.engine.refs import StateRef
+from repro.engine.state import StateStore
+from repro.engine.tpg import TaskPrecedenceGraph, build_tpg
+from repro.engine.transactions import Transaction
+from repro.ft.base import FTScheme
+from repro.ft.common import build_txn_tasks
+from repro.ft.wal import STREAM, WriteAheadLog
+from repro.sim.clock import Machine
+from repro.sim.executor import ParallelExecutor, SimTask
+
+
+def txn_refs(txn: Transaction) -> List[StateRef]:
+    """Every record a transaction touches, sorted and deduplicated:
+    operation writes, operation reads, and condition refs — the full
+    read/write footprint PACMAN's static analysis inspects."""
+    refs = set()
+    for op in txn.ops:
+        refs.add(op.ref)
+        refs.update(op.reads)
+    for cond in txn.conditions:
+        refs.update(cond.refs)
+    return sorted(refs)
+
+
+def static_batches(txns: Sequence[Transaction]) -> Tuple[Dict[int, int], int]:
+    """PACMAN's static key-access analysis over a sorted command log.
+
+    Union-find over state records: all records touched by one
+    transaction are unioned, so transactions sharing any record
+    (directly or transitively) end up in the same connected component.
+    Returns ``(component_of_txn, accesses)`` where components are
+    numbered densely in order of first appearance (deterministic) and
+    ``accesses`` counts the union-find probes performed, for costing.
+    """
+    parent: Dict[StateRef, StateRef] = {}
+
+    def find(ref: StateRef) -> StateRef:
+        root = ref
+        while parent[root] != root:
+            root = parent[root]
+        while parent[ref] != root:
+            parent[ref], ref = root, parent[ref]
+        return root
+
+    accesses = 0
+    footprints: List[List[StateRef]] = []
+    for txn in txns:
+        refs = txn_refs(txn)
+        footprints.append(refs)
+        accesses += len(refs)
+        for ref in refs:
+            parent.setdefault(ref, ref)
+        first = refs[0]
+        for ref in refs[1:]:
+            ra, rb = find(first), find(ref)
+            if ra != rb:
+                parent[rb] = ra
+
+    component_of_txn: Dict[int, int] = {}
+    component_ids: Dict[StateRef, int] = {}
+    for txn, refs in zip(txns, footprints):
+        root = find(refs[0])
+        if root not in component_ids:
+            component_ids[root] = len(component_ids)
+        component_of_txn[txn.txn_id] = component_ids[root]
+    return component_of_txn, accesses
+
+
+class WALPacman(WriteAheadLog):
+    """Command logging with PACMAN-parallel redo via static analysis."""
+
+    name = "PACMAN"
+
+    def __init__(self, workload, *, hybrid: bool = False, **kwargs):
+        super().__init__(workload, **kwargs)
+        #: Hybrid mode: split batches at chain granularity and schedule
+        #: like MSR, paying synchronization on the cut dependencies.
+        self.hybrid = hybrid
+
+    def _real_num_groups(self) -> int:
+        # Unlike WAL's single sequential group, the parallel redo ships
+        # a real chain-group plan to the multiprocessing backend — the
+        # base policy of two groups per worker so LPT can re-balance
+        # after a death without fragmenting locality.
+        return FTScheme._real_num_groups(self)
+
+    def _batch_tasks(
+        self,
+        machine: Machine,
+        tpg: TaskPrecedenceGraph,
+        outcome,
+    ) -> List[SimTask]:
+        """One task per transaction, chained inside its static batch.
+
+        Batches share no records, so there are no cross-batch edges and
+        replay pays zero Explore/sync cost; each batch is pinned to one
+        worker (LPT on total execution weight) and its transactions
+        replay strictly in timestamp order.
+        """
+        costs = self.costs
+        component_of_txn, accesses = static_batches(tpg.txns)
+        # The analysis is one union-find probe per record access, done
+        # in parallel over the sorted log before replay starts.
+        machine.spend_parallel(
+            buckets.CONSTRUCT,
+            itertools.repeat(costs.static_analysis_access, accesses),
+        )
+
+        txn_cost = {
+            txn.txn_id: sum(
+                op_cost(op, tpg, outcome, costs) for op in txn.ops
+            )
+            for txn in tpg.txns
+        }
+        num_components = max(component_of_txn.values(), default=-1) + 1
+        weights = [0.0] * num_components
+        for txn_id, component in component_of_txn.items():
+            weights[component] += txn_cost[txn_id]
+        assignment, _loads = lpt_assign(weights, self.num_workers)
+        machine.spend_parallel(
+            buckets.CONSTRUCT,
+            itertools.repeat(costs.task_dispatch, num_components),
+        )
+
+        tasks: List[SimTask] = []
+        last_in_component: Dict[int, int] = {}
+        for txn in tpg.txns:
+            component = component_of_txn[txn.txn_id]
+            prev = last_in_component.get(component)
+            tasks.append(
+                SimTask(
+                    uid=txn.txn_id,
+                    worker=assignment[component],
+                    cost=txn_cost[txn.txn_id],
+                    deps=(prev,) if prev is not None else (),
+                    bucket=buckets.EXECUTE,
+                    group=component,
+                )
+            )
+            last_in_component[component] = txn.txn_id
+        return tasks
+
+    def _hybrid_tasks(
+        self,
+        machine: Machine,
+        tpg: TaskPrecedenceGraph,
+        outcome,
+    ) -> List[SimTask]:
+        """MSR chain scheduling seeded by the static analysis.
+
+        The chain-affinity graph's connected components are exactly
+        PACMAN's batches (an edge requires a shared dependency), so the
+        greedy partitioner keeps whole small batches co-located — but it
+        may *split* a giant skewed batch across workers, trading the
+        zero-sync property for balance.  Cut dependencies then pay the
+        usual cross-worker exploration/synchronization during replay.
+        """
+        costs = self.costs
+        graph = build_chain_graph(tpg)
+        machine.spend_parallel(
+            buckets.CONSTRUCT,
+            itertools.repeat(costs.partition_vertex, len(graph.vertices)),
+        )
+        machine.spend_parallel(
+            buckets.CONSTRUCT,
+            itertools.repeat(costs.partition_edge, len(graph.edges)),
+        )
+        placement = greedy_partition(graph, self.num_workers)
+        home = {
+            txn.txn_id: placement[txn.ops[0].ref] for txn in tpg.txns
+        }
+        return build_txn_tasks(
+            tpg,
+            outcome,
+            costs,
+            worker_of_txn=home.__getitem__,
+            explore_per_dep=costs.explore_dependency,
+        )
+
+    def _recover_epoch(
+        self,
+        machine: Machine,
+        executor: ParallelExecutor,
+        store: StateStore,
+        epoch_id: int,
+        events: Sequence[Event],
+    ) -> List[Tuple[int, tuple]]:
+        costs = self.costs
+        raw, io_s = self.disk.logs.read_epoch(STREAM, epoch_id)
+        machine.spend_all(buckets.RELOAD, io_s)
+        commands = [Event.from_encoded(r) for r in raw]
+
+        # Same global merge sort as WAL: the log is still command-only
+        # and group-committed by independent workers.
+        self._charge_sort(machine, self._sort_seconds(len(commands)))
+        commands.sort(key=lambda e: e.seq)
+
+        txns = self.committed_transactions(commands, aborted=())
+        machine.spend_parallel(
+            buckets.EXECUTE, (costs.preprocess_event for _ in commands)
+        )
+        tpg = build_tpg(txns)
+        recorder = self._real_recorder
+        if recorder is not None:
+            from repro.real.plan import capture_base
+
+            base_token = capture_base(tpg, store)
+        outcome = execute_tpg(store, tpg)
+        if recorder is not None:
+            recorder.record_tpg(tpg, outcome, base_token, self._real_num_groups())
+
+        if self.hybrid:
+            tasks = self._hybrid_tasks(machine, tpg, outcome)
+        else:
+            tasks = self._batch_tasks(machine, tpg, outcome)
+        executor.run(tasks)
+        machine.spend_parallel(
+            buckets.EXECUTE, (costs.postprocess_event for _ in txns)
+        )
+        return self._make_outputs(txns, outcome)

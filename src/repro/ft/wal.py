@@ -38,6 +38,40 @@ class WriteAheadLog(FTScheme):
     replays_from_events = False
     log_streams = ("wal",)
 
+    #: Effective parallelism of the k-way merge: the final merge pass is
+    #: sequential, so adding cores beyond this stops helping
+    #: (docs/cost-model.md, "parallelism capped at 4").
+    SORT_PARALLELISM = 4
+
+    def _sort_seconds(self, n: int) -> float:
+        """Total comparison work of the global k-way merge, in seconds.
+
+        A k-way merge of the k per-worker runs costs n*log2(k)
+        comparisons; a single worker keeps one already-ordered stream
+        and pays nothing.
+        """
+        if n <= 1 or self.num_workers <= 1:
+            return 0.0
+        return self.costs.sort_per_element * n * math.log2(self.num_workers)
+
+    def _charge_sort(self, machine: Machine, sort_seconds: float) -> None:
+        """Charge the merge sort to the cores that actually perform it.
+
+        Only ``min(SORT_PARALLELISM, num_cores)`` cores participate,
+        splitting the comparison work evenly; the rest idle and absorb
+        the gap as WAIT at the next barrier.  Total CPU charged equals
+        ``sort_seconds`` exactly.  (An earlier model charged every core
+        the per-participant share via ``spend_all``, inflating the
+        RELOAD total by ``num_cores / min(4, num_cores)`` while leaving
+        the makespan unchanged.)
+        """
+        if sort_seconds <= 0.0:
+            return
+        participants = min(self.SORT_PARALLELISM, machine.num_cores)
+        share = sort_seconds / participants
+        for core in machine.cores[:participants]:
+            core.spend(buckets.RELOAD, share)
+
     def _on_epoch(self, ctx: EpochContext) -> None:
         records = [
             txn.event.encoded()
@@ -71,20 +105,11 @@ class WriteAheadLog(FTScheme):
         commands = [Event.from_encoded(r) for r in raw]
 
         # Global sort to re-establish a total order over the commands
-        # group-committed by independent workers: a k-way merge of the k
-        # per-worker runs costs n*log2(k) comparisons, and a single
-        # worker keeps one already-ordered stream and pays nothing.  The
-        # merge parallelizes poorly (the final pass is sequential), so
-        # effective parallelism is capped — this is why the paper
-        # observed WAL spending the longest time on reloading.
-        n = len(commands)
-        if n > 1 and self.num_workers > 1:
-            sort_seconds = (
-                costs.sort_per_element * n * math.log2(self.num_workers)
-            )
-            machine.spend_all(
-                buckets.RELOAD, sort_seconds / min(4, self.num_workers)
-            )
+        # group-committed by independent workers.  The merge parallelizes
+        # poorly (the final pass is sequential), so effective parallelism
+        # is capped — this is why the paper observed WAL spending the
+        # longest time on reloading.
+        self._charge_sort(machine, self._sort_seconds(len(commands)))
         commands.sort(key=lambda e: e.seq)
 
         # Sequential redo: one worker re-executes every committed

@@ -95,7 +95,15 @@ CHAOS_SCHEMA = "repro.chaos/v1"
 class ChaosConfig:
     """One chaos sweep: the cross product of the three axes."""
 
-    schemes: Tuple[str, ...] = ("MSR", "WAL", "DL", "LV", "CKPT")
+    schemes: Tuple[str, ...] = (
+        "MSR",
+        "WAL",
+        "PACMAN",
+        "DL",
+        "LV",
+        "LVC",
+        "CKPT",
+    )
     fault_kinds: Tuple[str, ...] = FAULT_KINDS
     crash_points: Tuple[str, ...] = CRASH_POINTS
     #: worker-failure cells run per scheme (empty tuple disables them).
@@ -246,7 +254,7 @@ def smoke_config(seed: int = 7) -> ChaosConfig:
     so the resumable-recovery machinery is exercised on every push.
     """
     return ChaosConfig(
-        schemes=("MSR", "WAL", "CKPT"),
+        schemes=("MSR", "WAL", "PACMAN", "LVC", "CKPT"),
         fault_kinds=("none", "torn"),
         crash_points=("boundary", "mid-commit"),
         worker_faults=("die-early", "straggle"),

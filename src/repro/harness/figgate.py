@@ -1,0 +1,162 @@
+"""Fig. 11 regression gate: MSR must keep beating the strong baselines.
+
+ISSUE 10 added baselines that fight back (PACMAN parallel redo,
+compressed Taurus vectors), which makes the headline claim — MSR
+recovers fastest — falsifiable by any future cost-model or scheduler
+change.  This gate pins the claim in CI: it reruns a reduced,
+deterministic Fig. 11-style recovery comparison and checks MSR's
+speedup over every baseline against the committed ``BENCH_fig11.json``.
+A PR that slows MSR relative to the stronger baselines (or breaks a
+scheme outright) fails loudly instead of silently eroding the headline.
+
+Everything here runs on the virtual-clock simulator, so the measured
+seconds are bit-deterministic across runs and machines; the tolerance
+only absorbs *intentional* cost-model recalibrations, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro import SCHEMES
+from repro.harness import figures
+from repro.harness.runner import ExperimentConfig, run_experiment
+
+#: Format marker for the exported payload.
+GATE_SCHEMA = "bench-fig11/v1"
+
+#: Schemes the gate compares against MSR — every recovery baseline,
+#: including the two strong ones this gate exists to guard against.
+GATE_BASELINES: Tuple[str, ...] = ("CKPT", "WAL", "PACMAN", "DL", "LV", "LVC")
+
+#: Workloads the gate measures: the dependency-heavy default ledger
+#: (where restructuring wins) and the low-dependency Grep&Sum sweep
+#: point (where PACMAN's zero-sync redo is strongest — the hardest
+#: point for MSR to defend).
+def _gate_workloads() -> Dict[str, Callable]:
+    return {
+        "SL": figures.sl_factory(),
+        "GS-lowdep": figures.gs_factory(
+            skew=0.0, multi_partition_ratio=0.0, abort_ratio=0.0
+        ),
+    }
+
+
+#: Reduced, CI-sized experiment scale (deterministic virtual time).
+GATE_EPOCH_LEN = 96
+GATE_SNAPSHOT_INTERVAL = 4
+GATE_RECOVER_EPOCHS = 3
+GATE_WORKERS = 4
+GATE_SEED = 7
+
+#: Relative slack on each speedup ratio before the gate trips.  Virtual
+#: time is deterministic, so this only absorbs deliberate recalibration.
+GATE_TOLERANCE = 0.10
+
+
+def _recovery_seconds(scheme_name: str, factory: Callable) -> float:
+    config = ExperimentConfig(
+        workload_factory=factory,
+        scheme=SCHEMES[scheme_name],
+        num_workers=GATE_WORKERS,
+        epoch_len=GATE_EPOCH_LEN,
+        snapshot_interval=GATE_SNAPSHOT_INTERVAL,
+        recover_epochs=GATE_RECOVER_EPOCHS,
+        seed=GATE_SEED,
+    )
+    result = run_experiment(config)
+    assert result.recovery is not None
+    return result.recovery.elapsed_seconds
+
+
+def compute_gate() -> Dict:
+    """Measure MSR's speedup over every baseline on the gate workloads."""
+    workloads: Dict[str, Dict[str, float]] = {}
+    for app, factory in _gate_workloads().items():
+        seconds = {
+            name: _recovery_seconds(name, factory)
+            for name in ("MSR",) + GATE_BASELINES
+        }
+        msr = seconds["MSR"]
+        workloads[app] = {
+            "recovery_seconds": seconds,
+            "msr_speedup": {
+                name: seconds[name] / msr for name in GATE_BASELINES
+            },
+        }
+    return {
+        "schema": GATE_SCHEMA,
+        "config": {
+            "epoch_len": GATE_EPOCH_LEN,
+            "snapshot_interval": GATE_SNAPSHOT_INTERVAL,
+            "recover_epochs": GATE_RECOVER_EPOCHS,
+            "num_workers": GATE_WORKERS,
+            "seed": GATE_SEED,
+            "tolerance": GATE_TOLERANCE,
+        },
+        "workloads": workloads,
+    }
+
+
+def compare_gate(current: Dict, baseline: Dict) -> List[str]:
+    """Regressions of ``current`` against the committed ``baseline``.
+
+    Returns one human-readable line per violated bound (empty list =
+    gate passes).  Two checks per (workload, baseline-scheme) pair:
+
+    - MSR's speedup over the scheme must not fall below the committed
+      speedup by more than the tolerance — MSR losing ground to a
+      baseline is exactly the regression this gate exists to catch;
+    - MSR must still strictly beat every baseline (speedup > 1.0), the
+      acceptance headline, regardless of how stale the baseline file is.
+    """
+    problems: List[str] = []
+    if baseline.get("schema") != GATE_SCHEMA:
+        return [
+            f"baseline schema {baseline.get('schema')!r} != {GATE_SCHEMA!r} "
+            "(regenerate with: repro figgate --update)"
+        ]
+    tolerance = float(baseline.get("config", {}).get("tolerance", GATE_TOLERANCE))
+    for app, committed in baseline.get("workloads", {}).items():
+        measured = current["workloads"].get(app)
+        if measured is None:
+            problems.append(f"{app}: workload missing from current run")
+            continue
+        for scheme, committed_speedup in committed["msr_speedup"].items():
+            speedup = measured["msr_speedup"].get(scheme)
+            if speedup is None:
+                problems.append(f"{app}: scheme {scheme} missing from current run")
+                continue
+            floor = committed_speedup * (1.0 - tolerance)
+            if speedup < floor:
+                problems.append(
+                    f"{app}: MSR speedup over {scheme} regressed to "
+                    f"{speedup:.3f}x (committed {committed_speedup:.3f}x, "
+                    f"floor {floor:.3f}x)"
+                )
+            if speedup <= 1.0:
+                problems.append(
+                    f"{app}: MSR no longer beats {scheme} "
+                    f"({speedup:.3f}x <= 1.0x)"
+                )
+    return problems
+
+
+def load_baseline(path: Path) -> Dict:
+    with path.open("r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def describe_gate(payload: Dict) -> str:
+    lines = []
+    for app, row in payload["workloads"].items():
+        speedups = ", ".join(
+            f"{scheme} {ratio:.2f}x"
+            for scheme, ratio in sorted(
+                row["msr_speedup"].items(), key=lambda kv: kv[1]
+            )
+        )
+        lines.append(f"{app}: MSR speedup over baselines — {speedups}")
+    return "\n".join(lines)

@@ -34,8 +34,9 @@ from repro.core.morphstreamr import MorphStreamR, MSROptions
 from repro.ft.base import FTScheme
 from repro.ft.checkpoint import GlobalCheckpoint
 from repro.ft.dlog import DependencyLogging
-from repro.ft.lsnvector import LSNVector
+from repro.ft.lsnvector import LSNVector, LSNVectorCompressed
 from repro.ft.native import Native
+from repro.ft.pacman import WALPacman
 from repro.ft.wal import WriteAheadLog
 from repro.harness.runner import ExperimentConfig, ExperimentResult, run_experiment
 from repro.workloads.grep_sum import GrepSum
@@ -44,11 +45,16 @@ from repro.workloads.streaming_ledger import StreamingLedger
 from repro.workloads.toll_processing import TollProcessing
 
 #: Schemes compared in recovery experiments (NAT cannot recover).
+#: PACMAN and LVC are the "baselines that fight back" of ROADMAP item
+#: 3: parallel command-log redo and compressed Taurus vectors, so the
+#: headline figures measure MSR against the strongest competition.
 RECOVERY_SCHEMES: Dict[str, type] = {
     "CKPT": GlobalCheckpoint,
     "WAL": WriteAheadLog,
+    "PACMAN": WALPacman,
     "DL": DependencyLogging,
     "LV": LSNVector,
+    "LVC": LSNVectorCompressed,
     "MSR": MorphStreamR,
 }
 

@@ -98,6 +98,12 @@ class CostModel:
     #: Per-element coefficient of the O(n log n) global sort WAL performs
     #: to re-establish a total order over group-committed command logs.
     sort_per_element: float = 2.5 * US
+    #: One union-find probe (find + path compression / union) over a
+    #: transaction's record access during PACMAN-style static log
+    #: analysis.  Cheaper than ``construct_edge``: the probe walks
+    #: interned refs already decoded and warm in cache, where DL's graph
+    #: rebuild decodes edge records against cold data.
+    static_analysis_access: float = 0.3 * US
     #: Passing one shadow operation (decrement a dependency counter).
     shadow_visit: float = 0.45 * US
     #: Switching a worker from one operation chain to another during

@@ -14,7 +14,8 @@ import pytest
 from repro.core.morphstreamr import MorphStreamR
 from repro.ft.checkpoint import GlobalCheckpoint
 from repro.ft.dlog import DependencyLogging
-from repro.ft.lsnvector import LSNVector
+from repro.ft.lsnvector import LSNVector, LSNVectorCompressed
+from repro.ft.pacman import WALPacman
 from repro.ft.wal import WriteAheadLog
 from repro.harness.runner import ground_truth
 from repro.sim.executor import WorkerFault
@@ -25,8 +26,10 @@ from repro.workloads.toll_processing import TollProcessing
 SCHEMES = {
     "CKPT": GlobalCheckpoint,
     "WAL": WriteAheadLog,
+    "PACMAN": WALPacman,
     "DL": DependencyLogging,
     "LV": LSNVector,
+    "LVC": LSNVectorCompressed,
     "MSR": MorphStreamR,
 }
 

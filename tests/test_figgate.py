@@ -1,0 +1,104 @@
+"""Fig. 11 regression gate: the committed baseline must keep passing.
+
+The gate exists because ISSUE 10 gave the baselines real teeth (PACMAN
+parallel redo, compressed Taurus vectors): a cost-model or scheduler
+change can now silently erode MSR's headline speedup.  These tests pin
+the gate's own logic (schema check, regression floor, >1x headline) and
+— the actual CI guard — recompute the gate and compare it against the
+committed ``BENCH_fig11.json``.
+"""
+
+from __future__ import annotations
+
+import copy
+from pathlib import Path
+
+import pytest
+
+from repro.harness import figgate
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_fig11.json"
+
+
+@pytest.fixture(scope="module")
+def current():
+    """One gate measurement shared by the module (virtual time, ~1s)."""
+    return figgate.compute_gate()
+
+
+class TestCompareGate:
+    def test_identical_payloads_pass(self, current):
+        assert figgate.compare_gate(current, current) == []
+
+    def test_schema_mismatch_fails_with_regenerate_hint(self, current):
+        stale = copy.deepcopy(current)
+        stale["schema"] = "bench-fig11/v0"
+        problems = figgate.compare_gate(current, stale)
+        assert len(problems) == 1
+        assert "figgate --update" in problems[0]
+
+    def test_speedup_regression_trips_the_floor(self, current):
+        """MSR losing more than the tolerance vs any committed speedup
+        is reported per (workload, scheme) pair."""
+        slowed = copy.deepcopy(current)
+        app = next(iter(slowed["workloads"]))
+        row = slowed["workloads"][app]["msr_speedup"]
+        scheme = next(iter(row))
+        row[scheme] *= 1.0 - 2 * figgate.GATE_TOLERANCE
+        problems = figgate.compare_gate(slowed, current)
+        assert len(problems) == 1
+        assert scheme in problems[0] and "regressed" in problems[0]
+
+    def test_within_tolerance_drift_passes(self, current):
+        drifted = copy.deepcopy(current)
+        for row in drifted["workloads"].values():
+            for scheme in row["msr_speedup"]:
+                # Stay above the absolute >1.0x headline floor — that
+                # check is deliberately insensitive to the tolerance.
+                row["msr_speedup"][scheme] = max(
+                    row["msr_speedup"][scheme]
+                    * (1.0 - 0.5 * figgate.GATE_TOLERANCE),
+                    1.001,
+                )
+        assert figgate.compare_gate(drifted, current) == []
+
+    def test_msr_losing_outright_always_fails(self, current):
+        """Speedup <= 1.0 trips the headline check even if the committed
+        baseline file itself were stale enough to allow it."""
+        beaten = copy.deepcopy(current)
+        permissive = copy.deepcopy(current)
+        app = next(iter(beaten["workloads"]))
+        scheme = next(iter(beaten["workloads"][app]["msr_speedup"]))
+        beaten["workloads"][app]["msr_speedup"][scheme] = 0.9
+        permissive["workloads"][app]["msr_speedup"][scheme] = 0.5
+        problems = figgate.compare_gate(beaten, permissive)
+        assert any("no longer beats" in p for p in problems)
+
+    def test_missing_scheme_is_reported(self, current):
+        partial = copy.deepcopy(current)
+        app = next(iter(partial["workloads"]))
+        partial["workloads"][app]["msr_speedup"].pop("PACMAN")
+        problems = figgate.compare_gate(partial, current)
+        assert any("PACMAN missing" in p for p in problems)
+
+
+class TestCommittedBaseline:
+    def test_gate_passes_against_committed_baseline(self, current):
+        """The CI guard itself: today's code vs the committed numbers."""
+        baseline = figgate.load_baseline(BASELINE_PATH)
+        problems = figgate.compare_gate(current, baseline)
+        assert problems == [], "\n".join(problems)
+
+    def test_baseline_covers_every_strong_baseline(self):
+        baseline = figgate.load_baseline(BASELINE_PATH)
+        assert baseline["schema"] == figgate.GATE_SCHEMA
+        for row in baseline["workloads"].values():
+            assert set(row["msr_speedup"]) == set(figgate.GATE_BASELINES)
+            # The headline held when the baseline was committed.
+            assert all(s > 1.0 for s in row["msr_speedup"].values())
+
+    def test_describe_mentions_every_workload(self, current):
+        text = figgate.describe_gate(current)
+        for app in current["workloads"]:
+            assert app in text
